@@ -1,0 +1,222 @@
+"""Ablations of the MFC design choices (DESIGN.md §4).
+
+1. **90th-percentile rule for Large Object** (§2.2.3): with a shared
+   mid-path bottleneck in front of a third of the fleet, the median
+   rule would blame the server for congestion that is not the
+   server's; the 90% rule does not.
+2. **Check phase**: under spiky client-side latency noise, disabling
+   the N−1/N/N+1 confirmation makes the MFC stop early on stochastic
+   blips.
+3. **Synchronization scheduling**: dispatching all commands at once
+   (naive) spreads arrivals across the fleet's full latency diversity;
+   the paper's lead-time arithmetic collapses that spread by an order
+   of magnitude.
+"""
+
+import statistics
+
+from benchmarks.conftest import emit, sweep_config
+from repro.analysis.tables import TextTable
+from repro.core.config import MFCConfig
+from repro.core.epochs import degradation_aggregate
+from repro.core.records import StageOutcome
+from repro.core.runner import MFCRunner
+from repro.core.stages import StageKind
+from repro.server.presets import qtnp_server
+from repro.workload.fleet import FleetSpec
+
+
+# -- ablation 1: percentile rule ---------------------------------------------------
+
+
+def run_bottlenecked_large_object(seed=21):
+    """A well-provisioned server, but 55% of clients share a congested
+    60 Mbps transit bottleneck several hops away.  Returns the stage."""
+    fleet = FleetSpec(
+        n_clients=65,
+        unresponsive_fraction=0.0,
+        bottleneck_group="transit",
+        bottleneck_fraction=0.55,
+    )
+    runner = MFCRunner.build(
+        qtnp_server(),
+        fleet_spec=fleet,
+        config=sweep_config(max_crowd=55, min_clients=50),
+        stage_kinds=[StageKind.LARGE_OBJECT],
+        bottleneck_capacity_bps=2.5e6,  # 20 Mbps, far below the 1 Gbps server
+        seed=seed,
+    )
+    result = runner.run()
+    return result.stage(StageKind.LARGE_OBJECT.value)
+
+
+def test_ablation_percentile_rule(benchmark):
+    stage = benchmark.pedantic(run_bottlenecked_large_object, rounds=1, iterations=1)
+    theta = 0.100
+    table = TextTable(
+        ["crowd", "median rule (Δms)", "90% rule (Δms)", "median stops?", "90% stops?"],
+        title="Ablation 1: Large Object under a shared mid-path bottleneck "
+        "(55% of clients); server bandwidth is NOT the constraint",
+    )
+    median_stops = []
+    pct90_stops = []
+    for epoch in stage.epochs:
+        values = [r.normalized_s for r in epoch.reports]
+        if not values:
+            continue
+        med = degradation_aggregate(values, 0.5)
+        p90 = degradation_aggregate(values, 0.9)
+        median_stops.append(med > theta)
+        pct90_stops.append(p90 > theta)
+        table.add_row(
+            epoch.crowd_size,
+            f"{med * 1000:.0f}",
+            f"{p90 * 1000:.0f}",
+            "YES" if med > theta else "no",
+            "YES" if p90 > theta else "no",
+        )
+    emit("ablation_percentile_rule", table.render())
+
+    # the median rule false-positives on the shared bottleneck; the
+    # paper's 90% rule correctly keeps the well-provisioned verdict
+    assert any(median_stops)
+    assert not any(pct90_stops)
+
+
+# -- ablation 2: check phase ----------------------------------------------------------
+
+
+def run_transient_blips(check_phase, seed, busy_period_s):
+    """A server with NO real capacity constraint but transient busy
+    windows (a cron job, a log rotation): for ~2.5 s out of every
+    *busy_period_s*, every request takes an extra 300 ms.  Epochs that
+    collide with a window look degraded; the check phase's
+    confirmation epochs run 10+ s later and expose the blip."""
+    from benchmarks.conftest import assemble_synthetic_world
+    from repro.server.synthetic import SyntheticServer
+
+    sim_box = {}
+
+    def blippy_model(pending):
+        now = sim_box["sim"].now
+        return 0.300 if (now % busy_period_s) < 2.5 else 0.0
+
+    def factory(sim, net, link):
+        sim_box["sim"] = sim
+        return SyntheticServer(sim, blippy_model, net, link)
+
+    config = MFCConfig(
+        min_clients=1,
+        max_crowd=55,
+        check_phase=check_phase,
+        threshold_s=0.100,
+        initial_crowd=5,
+        crowd_step=5,
+    )
+    sim, coordinator, stage, _server = assemble_synthetic_world(
+        factory, n_clients=60, config=config, seed=seed
+    )
+    result = sim.run_until_complete(coordinator.run([stage]))
+    return result.stage(stage.name)
+
+
+def run_checkphase_ablation():
+    # vary the busy-window phase via the period so different runs
+    # collide with different epochs
+    cases = [(seed, 31.0 + seed) for seed in range(50, 60)]
+    with_check = [run_transient_blips(True, s, p) for s, p in cases]
+    without_check = [run_transient_blips(False, s, p) for s, p in cases]
+    return with_check, without_check
+
+
+def stop_sizes(stages):
+    return [
+        s.stopping_crowd_size if s.outcome is StageOutcome.STOPPED else None
+        for s in stages
+    ]
+
+
+def test_ablation_check_phase(benchmark):
+    with_check, without_check = benchmark.pedantic(
+        run_checkphase_ablation, rounds=1, iterations=1
+    )
+    stops_with = stop_sizes(with_check)
+    stops_without = stop_sizes(without_check)
+
+    def false_alarms(stops):
+        # ANY stop is false: the server has no capacity constraint
+        return sum(1 for s in stops if s is not None)
+
+    table = TextTable(
+        ["variant", "runs", "false alarms", "stop sizes"],
+        title="Ablation 2: the N−1/N/N+1 check phase vs transient server "
+        "blips (no real constraint exists; every stop is a false alarm)",
+    )
+    table.add_row("check phase ON", len(stops_with), false_alarms(stops_with), stops_with)
+    table.add_row(
+        "check phase OFF", len(stops_without), false_alarms(stops_without), stops_without
+    )
+    emit("ablation_check_phase", table.render())
+
+    assert false_alarms(stops_without) > false_alarms(stops_with)
+    assert false_alarms(stops_without) >= 2
+
+
+# -- ablation 3: synchronization scheduling ----------------------------------------------
+
+
+def run_sync_ablation(naive, seed=41):
+    # a calm fleet: the residual spread under lead-time scheduling is
+    # then pure estimate-vs-live jitter, while the naive dispatch shows
+    # the fleet's full RTT diversity
+    fleet = FleetSpec(
+        n_clients=65,
+        unresponsive_fraction=0.0,
+        spike_node_fraction=0.0,
+        jitter_range=(0.01, 0.04),
+    )
+    runner = MFCRunner.build(
+        qtnp_server(),
+        fleet_spec=fleet,
+        config=sweep_config(max_crowd=45, step=45, min_clients=50),
+        stage_kinds=[StageKind.BASE],
+        use_naive_scheduling=naive,
+        seed=seed,
+    )
+    result = runner.run()
+    stage = result.stage(StageKind.BASE.value)
+    epoch = stage.epochs[0]
+    log = runner.server.access_log
+    window = log.mfc_records(
+        log.in_window(epoch.target_time - 1.0, epoch.target_time + 6.0)
+    )
+    offsets = log.arrival_offsets(window)
+    return offsets
+
+
+def run_both_sync():
+    return run_sync_ablation(naive=False), run_sync_ablation(naive=True)
+
+
+def test_ablation_synchronization(benchmark):
+    synced, naive = benchmark.pedantic(run_both_sync, rounds=1, iterations=1)
+
+    def spread(offsets):
+        return offsets[-1] - offsets[0] if offsets else 0.0
+
+    def stdev(offsets):
+        return statistics.pstdev(offsets) if len(offsets) > 1 else 0.0
+
+    table = TextTable(
+        ["scheduling", "arrivals", "full spread (ms)", "stdev (ms)"],
+        title="Ablation 3: lead-time scheduling vs naive immediate dispatch "
+        "(45-client epoch)",
+    )
+    table.add_row("paper (lead-time)", len(synced), f"{spread(synced)*1000:.0f}",
+                  f"{stdev(synced)*1000:.0f}")
+    table.add_row("naive (all at once)", len(naive), f"{spread(naive)*1000:.0f}",
+                  f"{stdev(naive)*1000:.0f}")
+    emit("ablation_synchronization", table.render())
+
+    # the scheduler collapses the arrival dispersion dramatically
+    assert stdev(synced) * 3 < stdev(naive)

@@ -1,0 +1,67 @@
+"""Figure 4 — MFC tracks synthetic response-time functions.
+
+Paper §3.1: the validation server implements response-time models
+(added delay per request as a function of simultaneous requests) and
+"the median increase in response time across the clients faithfully
+tracks the server's actual response time function" for linear and
+exponential models.
+"""
+
+import pytest
+
+from benchmarks.conftest import assemble_synthetic_world, emit, sweep_config
+from repro.analysis.figures import ascii_series
+from repro.analysis.stats import mean
+from repro.server.synthetic import SyntheticServer, exponential_model, linear_model
+
+MAX_CROWD = 60
+STEP = 5
+
+
+def run_tracking(model, seed=2):
+    config = sweep_config(max_crowd=MAX_CROWD, step=STEP)
+    sim, coordinator, stage, server = assemble_synthetic_world(
+        lambda sim, net, link: SyntheticServer(sim, model, net, link),
+        n_clients=MAX_CROWD + 5,
+        config=config,
+        seed=seed,
+    )
+    result = sim.run_until_complete(coordinator.run([stage]))
+    return result.stage(stage.name).crowd_series()
+
+
+def tracking_error(series, model):
+    """Mean |measured − ideal| over the sweep (seconds)."""
+    return mean([abs(measured - model(crowd)) for crowd, measured in series])
+
+
+@pytest.mark.parametrize(
+    "name,model,paper_peak_ms",
+    [
+        ("linear", linear_model(0.005), 300.0),
+        ("exponential", exponential_model(0.0008, 0.12), 1000.0),
+    ],
+)
+def test_fig4_tracking(benchmark, name, model, paper_peak_ms):
+    series = benchmark.pedantic(run_tracking, args=(model,), rounds=1, iterations=1)
+    ideal = [(crowd, model(crowd)) for crowd, _ in series]
+    chart = ascii_series(
+        {"ideal": ideal, "mfc-measured": series},
+        title=f"Figure 4 ({name}): median normalized response time vs crowd size",
+        x_label="crowd size",
+        y_label="median increase (s)",
+    )
+    err = tracking_error(series, model)
+    peak = max(measured for _, measured in series)
+    emit(
+        f"fig4_tracking_{name}",
+        chart
+        + f"\nmean tracking error: {err * 1000:.1f} ms"
+        + f"\npeak measured increase: {peak * 1000:.0f} ms"
+        + f" (paper curve peaks ≈ {paper_peak_ms:.0f} ms)",
+    )
+
+    # faithful tracking: small error relative to the curve's peak
+    assert err < 0.15 * model(MAX_CROWD) + 0.005
+    # monotone-ish rise: the last reading dominates the first
+    assert series[-1][1] > series[0][1]

@@ -1,0 +1,120 @@
+"""Figures 7, 8, 9 — stopping-crowd-size breakdowns across Quantcast
+rank ranges (paper §5.1).
+
+Shape expectations, per stage:
+
+- **Fig. 7 (Base)**: degradation fraction rises steadily with rank
+  index (paper: 17% for 1-1K vs 45% for 100K-1M); ~10% of even the
+  top-ranked sites fold below 40 simultaneous requests.
+- **Fig. 8 (Small Query)**: strongly rank-correlated and uniformly
+  worse than Base (100K-1M: ~75% cannot handle 50, ~45% cannot handle
+  20).
+- **Fig. 9 (Large Object)**: weakly rank-correlated below the top
+  stratum — "lower rung servers appear to provision their bandwidth
+  relatively better than their back-end data processing capability".
+
+Populations are drawn at the paper's per-stratum site counts
+(114/107/118/148 per stage family).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import run_stage_study
+from repro.analysis.figures import stacked_breakdown
+from repro.analysis.study import bucket_labels
+from repro.analysis.tables import TextTable
+from repro.core.config import MFCConfig
+from repro.core.stages import StageKind
+from repro.workload import generate_population, quantcast_strata
+from repro.workload.fleet import FleetSpec
+
+FLEET = FleetSpec(n_clients=60, unresponsive_fraction=0.05)
+CONFIG = MFCConfig(min_clients=50, max_crowd=50)
+STRATA_ORDER = ["1-1K", "1K-10K", "10K-100K", "100K-1M"]
+
+
+def run_study(stage, seed):
+    sites = generate_population(quantcast_strata(scale=1.0), seed=seed)
+    return run_stage_study(sites, stage, config=CONFIG, fleet_spec=FLEET, seed=seed)
+
+
+def render(result, title):
+    breakdown = {s: result.breakdown(s) for s in STRATA_ORDER}
+    chart = stacked_breakdown(breakdown, order=bucket_labels(), title=title)
+    table = TextTable(
+        ["rank range", "measured sites", "degraded", "stop ≤20", "stop ≤50"],
+    )
+    for stratum in STRATA_ORDER:
+        table.add_row(
+            stratum,
+            result.measured_count(stratum),
+            f"{result.degraded_fraction(stratum) * 100:.0f}%",
+            f"{result.fraction_stopping_at_or_below(20, stratum) * 100:.0f}%",
+            f"{result.fraction_stopping_at_or_below(50, stratum) * 100:.0f}%",
+        )
+    return chart + "\n\n" + table.render()
+
+
+def test_fig7_base_population(benchmark):
+    result = benchmark.pedantic(run_study, args=(StageKind.BASE, 1), rounds=1, iterations=1)
+    emit(
+        "fig7_base_population",
+        render(result, "Figure 7: Base-stage stopping breakdown per rank range "
+               "(paper: 17% → 45% degraded)"),
+    )
+    deg = {s: result.degraded_fraction(s) for s in STRATA_ORDER}
+    # monotone-ish rank correlation with the paper's endpoints
+    assert 0.10 <= deg["1-1K"] <= 0.30
+    assert 0.35 <= deg["100K-1M"] <= 0.60
+    assert deg["100K-1M"] > deg["1-1K"]
+    # the paper's surprise: ~10% of top sites fold below 40 requests
+    assert result.fraction_stopping_at_or_below(40, "1-1K") >= 0.05
+
+
+def test_fig8_query_population(benchmark):
+    result = benchmark.pedantic(
+        run_study, args=(StageKind.SMALL_QUERY, 2), rounds=1, iterations=1
+    )
+    emit(
+        "fig8_query_population",
+        render(result, "Figure 8: Small-Query stopping breakdown per rank range "
+               "(paper: strongly rank-correlated; 100K-1M ≈75% ≤50)"),
+    )
+    deg = {s: result.degraded_fraction(s) for s in STRATA_ORDER}
+    assert deg["1-1K"] < deg["1K-10K"] < deg["100K-1M"]
+    assert 0.60 <= deg["100K-1M"] <= 0.90
+    assert result.fraction_stopping_at_or_below(20, "100K-1M") >= 0.25
+
+
+def test_fig9_bandwidth_population(benchmark):
+    result = benchmark.pedantic(
+        run_study, args=(StageKind.LARGE_OBJECT, 3), rounds=1, iterations=1
+    )
+    emit(
+        "fig9_bandwidth_population",
+        render(result, "Figure 9: Large-Object stopping breakdown per rank range "
+               "(paper: weakly rank-correlated below the top stratum)"),
+    )
+    deg = {s: result.degraded_fraction(s) for s in STRATA_ORDER}
+    # top stratum provisions bandwidth well
+    assert deg["1-1K"] <= 0.15
+    # weak correlation below the top: the three lower strata cluster
+    lower = [deg["1K-10K"], deg["10K-100K"], deg["100K-1M"]]
+    assert max(lower) - min(lower) < 0.25
+    assert all(0.10 <= d <= 0.65 for d in lower)
+
+
+def test_fig89_crossover(benchmark):
+    """The §5.1 comparison: low-rank sites provision bandwidth better
+    than back-end processing (Fig 9 fraction < Fig 8 fraction)."""
+
+    def run_pair():
+        return (
+            run_study(StageKind.SMALL_QUERY, 2),
+            run_study(StageKind.LARGE_OBJECT, 3),
+        )
+
+    query, large = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    for stratum in ("10K-100K", "100K-1M"):
+        assert large.degraded_fraction(stratum) < query.degraded_fraction(stratum)

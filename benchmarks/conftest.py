@@ -1,0 +1,107 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper.  The
+rendered artifact goes to ``benchmarks/results/<name>.txt`` (and to
+stdout when pytest runs with ``-s``), while pytest-benchmark captures
+the wall-clock cost of the underlying experiment.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.client import MFCClient
+from repro.core.config import MFCConfig
+from repro.core.coordinator import Coordinator
+from repro.core.stages import StageKind, StagePlan
+from repro.net.topology import Topology, TopologySpec
+from repro.server.http import Method
+from repro.sim import Simulator
+from repro.sim.rng import RNGRegistry
+from repro.workload.fleet import FleetSpec, build_fleet
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: a threshold no epoch crosses: turns the MFC into a pure crowd sweep
+SWEEP_THRESHOLD_S = 1e6
+
+
+def emit(name: str, text: str) -> None:
+    """Persist one bench's rendered artifact and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n[written to {path}]")
+
+
+def lan_fleet(n_clients: int, rtt: float = 0.002) -> FleetSpec:
+    """The §3 lab setting: clients on the same LAN as the target."""
+    return FleetSpec(
+        n_clients=n_clients,
+        rtt_range=(rtt, rtt * 1.5),
+        coord_rtt_range=(0.001, 0.002),
+        access_bps_choices=(125e6,),  # GigE LAN
+        jitter_range=(0.01, 0.03),
+        spike_node_fraction=0.0,
+        unresponsive_fraction=0.0,
+    )
+
+
+def sweep_config(max_crowd: int, step: int = 5, **overrides) -> MFCConfig:
+    """MFC config that sweeps crowds without ever stopping."""
+    defaults = dict(
+        threshold_s=SWEEP_THRESHOLD_S,
+        initial_crowd=step,
+        crowd_step=step,
+        max_crowd=max_crowd,
+        min_clients=1,
+        epoch_gap_s=10.0,
+    )
+    defaults.update(overrides)
+    return MFCConfig(**defaults)
+
+
+def assemble_synthetic_world(
+    synthetic_factory,
+    n_clients: int,
+    config: MFCConfig,
+    seed: int = 0,
+    server_access_bps: float = 1e9,
+):
+    """Hand-built world around a SyntheticServer (no site content).
+
+    *synthetic_factory(sim, network, access_link)* builds the server.
+    Returns ``(sim, coordinator, stage, server)`` ready for
+    ``coordinator.run([stage])``.
+    """
+    rngs = RNGRegistry(seed)
+    sim = Simulator()
+    fleet = build_fleet(lan_fleet(n_clients), rng=rngs.stream("fleet"))
+    topo = Topology(
+        sim,
+        TopologySpec(server_access_bps=server_access_bps, clients=fleet),
+        rngs=rngs.fork("topology"),
+    )
+    server = synthetic_factory(sim, topo.network, topo.server_access)
+    clients = [
+        MFCClient(sim, node, server, topo.control, config,
+                  rng=rngs.stream(f"client.{node.client_id}"))
+        for node in topo.clients
+    ]
+    coordinator = Coordinator(
+        sim, clients, topo.control, config,
+        target_name="synthetic", rng=rngs.stream("coordinator"),
+    )
+    stage = StagePlan(
+        kind=StageKind.BASE,
+        method=Method.GET,
+        degradation_quantile=0.5,
+        object_paths=("/probe",),
+    )
+    return sim, coordinator, stage, server
+
+
+@pytest.fixture
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Cooperating-site workflow (paper §4): MFC-mr, server logs, and
+background-traffic analysis.
+
+Reproduces the Univ-3 story: the operators wondered whether a recent
+incident — many simultaneous downloads of a popular video starving
+another large download — was a bandwidth problem or a request-handling
+problem.  Comparing the Base and Large Object stages answers it, and
+the server access log (which a cooperating operator shares) verifies
+synchronization and background-traffic levels.
+
+Run:  python examples/cooperating_site.py
+"""
+
+from repro.core import MFCConfig, MFCRunner, infer_constraints
+from repro.core.records import EpochLabel
+from repro.core.stages import StageKind
+from repro.core.variants import mfc_mr_config
+from repro.server.presets import univ3_server
+from repro.workload.fleet import FleetSpec
+
+
+def run_at(background_rps: float, seed: int = 13):
+    config = mfc_mr_config(
+        MFCConfig(min_clients=50, crowd_step=10, initial_crowd=10),
+        requests_per_client=2,   # MFC-mr: two parallel connections
+        max_crowd=150,
+    )
+    runner = MFCRunner.build(
+        univ3_server().with_background(background_rps),
+        fleet_spec=FleetSpec(n_clients=82, unresponsive_fraction=0.05),
+        config=config,
+        seed=seed,
+    )
+    return runner, runner.run()
+
+
+def main() -> None:
+    print("=== Univ-3-style cooperating site, MFC-mr at θ=250 ms ===\n")
+    for label, rps in (("morning", 20.3), ("late evening", 12.5)):
+        runner, result = run_at(rps)
+        print(f"--- {label}: background ≈ {rps} req/s ---")
+        print(result.summary())
+
+        # what the operator's server logs show
+        log = runner.server.access_log
+        start, end = result.started_at, result.ended_at
+        print(f"  MFC share of all traffic: {log.mfc_traffic_share(start, end) * 100:.0f}%")
+        print(f"  background rate from logs: {log.background_rate(start, end):.1f} req/s")
+
+        # synchronization check on the last Small Query epoch
+        sq = result.stage(StageKind.SMALL_QUERY.value)
+        last = [e for e in sq.epochs if e.label is EpochLabel.NORMAL][-1]
+        window = log.mfc_records(
+            log.in_window(last.target_time - 0.5, last.target_time + 8.0)
+        )
+        spread = log.spread_middle_fraction(window, fraction=0.9)
+        print(
+            f"  last SmallQuery epoch: {last.crowd_size} scheduled, "
+            f"{len(window)} in logs, 90% within {spread:.2f}s\n"
+        )
+
+        report = infer_constraints(result)
+        print(report.summary())
+        print()
+
+    print(
+        "Diagnosis for the video incident: the Base stage degrades while\n"
+        "Large Object never does — the frustrated downloader was a victim\n"
+        "of request handling, not bandwidth (the operators' conclusion in §4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

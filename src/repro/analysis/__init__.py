@@ -1,0 +1,39 @@
+"""Analysis and reporting: statistics, table/figure rendering, studies.
+
+Everything the benchmark harness uses to regenerate the paper's tables
+and figures lives here:
+
+- :mod:`repro.analysis.stats` — medians, quantiles, bootstrap CIs;
+- :mod:`repro.analysis.tables` — monospace table rendering;
+- :mod:`repro.analysis.figures` — ASCII line/bar/stacked-bar charts;
+- :mod:`repro.analysis.study` — the §5 large-scale study driver
+  (run one MFC stage over a site population, bucket stopping sizes).
+"""
+
+from repro.analysis.stats import bootstrap_ci, mean, median, quantile, stdev
+from repro.analysis.tables import TextTable
+from repro.analysis.figures import ascii_series, bar_chart, stacked_breakdown
+from repro.analysis.study import (
+    STOPPING_BUCKETS,
+    SiteMeasurement,
+    StudyResult,
+    bucket_label,
+    run_stage_study,
+)
+
+__all__ = [
+    "STOPPING_BUCKETS",
+    "SiteMeasurement",
+    "StudyResult",
+    "TextTable",
+    "ascii_series",
+    "bar_chart",
+    "bootstrap_ci",
+    "bucket_label",
+    "mean",
+    "median",
+    "quantile",
+    "run_stage_study",
+    "stacked_breakdown",
+    "stdev",
+]

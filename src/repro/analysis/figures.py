@@ -1,0 +1,111 @@
+"""ASCII chart rendering for bench output.
+
+Three chart shapes cover every figure in the paper:
+
+- :func:`ascii_series` — line-ish plots over a numeric x axis
+  (Figures 4, 5, 6: response time / resource usage vs. crowd size);
+- :func:`bar_chart` — simple horizontal bars;
+- :func:`stacked_breakdown` — per-category stacked percentage rows
+  (Figures 7, 8, 9: stopping-crowd-size breakdowns per rank range).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more ``(x, y)`` series on a shared grid.
+
+    Each series gets a marker character; overlapping points show the
+    later series' marker.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    markers = "*o+x#@%&"
+    points = [(name, list(pts)) for name, pts in series.items()]
+    all_x = [x for _, pts in points for x, _ in pts]
+    all_y = [y for _, pts in points for _, y in pts]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(min(all_y), 0.0), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(points):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_hi:.4g}, bottom={y_lo:.4g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.4g} .. {x_hi:.4g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, (name, _) in enumerate(points)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    if not values:
+        raise ValueError("nothing to chart")
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(int(value / peak * width), 0)
+        lines.append(f"{name.ljust(label_w)} | {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_breakdown(
+    breakdown: Dict[str, Dict[str, float]],
+    order: Sequence[str],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Per-row stacked percentage bars (the Figure 7/8/9 shape).
+
+    *breakdown* maps row label → {bucket label → fraction}; *order*
+    fixes the bucket stacking order.  Fractions should sum to ≤ 1 per
+    row.  Each bucket renders with its own fill character.
+    """
+    if not breakdown:
+        raise ValueError("nothing to chart")
+    fills = "#=+-.~o*"
+    label_w = max(len(k) for k in breakdown)
+    lines = [title] if title else []
+    for row_label, fractions in breakdown.items():
+        bar = ""
+        for i, bucket in enumerate(order):
+            frac = fractions.get(bucket, 0.0)
+            bar += fills[i % len(fills)] * int(round(frac * width))
+        lines.append(f"{row_label.ljust(label_w)} |{bar.ljust(width)}|")
+    legend = "  ".join(
+        f"{fills[i % len(fills)]}={bucket}" for i, bucket in enumerate(order)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Statistics helpers for analyses and benches.
+
+``quantile``/``median`` are re-exported from the epoch engine so the
+whole library agrees on one definition; the bootstrap is used by
+benches that want uncertainty bands on reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.epochs import median, quantile  # noqa: F401  (re-export)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=median,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: Optional[random.Random] = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for *statistic*."""
+    if not values:
+        raise ValueError("bootstrap of empty sequence")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = rng if rng is not None else random.Random(0)
+    values = list(values)
+    stats: List[float] = []
+    for _ in range(n_resamples):
+        resample = [rng.choice(values) for _ in values]
+        stats.append(statistic(resample))
+    alpha = (1.0 - confidence) / 2.0
+    return (quantile(stats, alpha), quantile(stats, 1.0 - alpha))

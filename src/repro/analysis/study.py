@@ -1,0 +1,182 @@
+"""The §5 large-scale study driver.
+
+Runs one MFC stage against every site of a generated population and
+buckets the stopping crowd sizes the way the paper's Figures 7–9 and
+Tables 4–5 do: ``10-20, 20-30, 30-40, 40-50, No-Stop``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MFCConfig
+from repro.core.records import StageOutcome
+from repro.core.runner import MFCRunner
+from repro.core.stages import StageKind
+from repro.workload.fleet import FleetSpec
+from repro.workload.populations import PopulationSite
+
+#: (low, high] stopping-size buckets used across §5
+STOPPING_BUCKETS = ((0, 20), (20, 30), (30, 40), (40, 50))
+NO_STOP_LABEL = "No-Stop"
+SKIPPED_LABEL = "Skipped"
+
+
+def bucket_label(stopping_size: Optional[int]) -> str:
+    """Map a stopping crowd size to its §5 bucket label."""
+    if stopping_size is None:
+        return NO_STOP_LABEL
+    for low, high in STOPPING_BUCKETS:
+        if low < stopping_size <= high:
+            return f"{low}-{high}"
+    # stops beyond the last bucket (cooperating-site crowds) get their
+    # own catch-all so nothing is silently dropped
+    return f">{STOPPING_BUCKETS[-1][1]}"
+
+
+def bucket_labels() -> List[str]:
+    """All bucket labels in stacking order (No-Stop last)."""
+    return [f"{lo}-{hi}" for lo, hi in STOPPING_BUCKETS] + [NO_STOP_LABEL]
+
+
+@dataclass
+class SiteMeasurement:
+    """One site's outcome for one stage."""
+
+    site_id: str
+    stratum: str
+    outcome: StageOutcome
+    stopping_size: Optional[int]
+
+    @property
+    def bucket(self) -> str:
+        """The §5 bucket this measurement falls in."""
+        if self.outcome is StageOutcome.SKIPPED:
+            return SKIPPED_LABEL
+        if self.outcome is StageOutcome.STOPPED:
+            return bucket_label(self.stopping_size)
+        return NO_STOP_LABEL
+
+
+@dataclass
+class StudyResult:
+    """All measurements of one stage over one population."""
+
+    stage: StageKind
+    measurements: List[SiteMeasurement] = field(default_factory=list)
+
+    def strata(self) -> List[str]:
+        """Stratum names in first-seen order."""
+        seen: List[str] = []
+        for m in self.measurements:
+            if m.stratum not in seen:
+                seen.append(m.stratum)
+        return seen
+
+    def breakdown(self, stratum: Optional[str] = None) -> Dict[str, float]:
+        """Bucket → fraction for one stratum (or the whole population).
+
+        Sites whose stage was skipped (no qualifying object) are
+        excluded from the denominator, matching the paper's per-stage
+        site counts.
+        """
+        rows = [
+            m
+            for m in self.measurements
+            if (stratum is None or m.stratum == stratum)
+            and m.outcome is not StageOutcome.SKIPPED
+        ]
+        if not rows:
+            return {}
+        fractions: Dict[str, float] = {}
+        for label in bucket_labels():
+            count = sum(1 for m in rows if m.bucket == label)
+            fractions[label] = count / len(rows)
+        return fractions
+
+    def fraction_stopping_at_or_below(self, crowd: int, stratum: Optional[str] = None) -> float:
+        """Fraction of measured sites stopping at ≤ *crowd* requests."""
+        rows = [
+            m
+            for m in self.measurements
+            if (stratum is None or m.stratum == stratum)
+            and m.outcome is not StageOutcome.SKIPPED
+        ]
+        if not rows:
+            return 0.0
+        stopped = sum(
+            1
+            for m in rows
+            if m.outcome is StageOutcome.STOPPED
+            and m.stopping_size is not None
+            and m.stopping_size <= crowd
+        )
+        return stopped / len(rows)
+
+    def degraded_fraction(self, stratum: Optional[str] = None) -> float:
+        """Fraction of measured sites that stopped at all."""
+        rows = [
+            m
+            for m in self.measurements
+            if (stratum is None or m.stratum == stratum)
+            and m.outcome is not StageOutcome.SKIPPED
+        ]
+        if not rows:
+            return 0.0
+        return sum(1 for m in rows if m.outcome is StageOutcome.STOPPED) / len(rows)
+
+    def measured_count(self, stratum: Optional[str] = None) -> int:
+        """Number of sites actually measured (stage not skipped)."""
+        return sum(
+            1
+            for m in self.measurements
+            if (stratum is None or m.stratum == stratum)
+            and m.outcome is not StageOutcome.SKIPPED
+        )
+
+
+def run_stage_study(
+    sites: Sequence[PopulationSite],
+    stage: StageKind,
+    config: Optional[MFCConfig] = None,
+    fleet_spec: Optional[FleetSpec] = None,
+    seed: int = 0,
+) -> StudyResult:
+    """Measure one stage against every site in a population.
+
+    Each site gets its own deterministic world seeded from *seed* and
+    its id, so studies parallelize trivially and re-run exactly.
+    """
+    config = config if config is not None else MFCConfig()
+    fleet_spec = fleet_spec if fleet_spec is not None else FleetSpec()
+    result = StudyResult(stage=stage)
+    for index, site in enumerate(sites):
+        runner = MFCRunner.build(
+            site.scenario,
+            fleet_spec=fleet_spec,
+            config=config,
+            seed=seed * 1_000_003 + index,
+            stage_kinds=[stage],
+        )
+        mfc_result = runner.run()
+        if mfc_result.aborted or stage.value not in mfc_result.stages:
+            result.measurements.append(
+                SiteMeasurement(
+                    site_id=site.site_id,
+                    stratum=site.stratum,
+                    outcome=StageOutcome.SKIPPED,
+                    stopping_size=None,
+                )
+            )
+            continue
+        stage_result = mfc_result.stage(stage.value)
+        result.measurements.append(
+            SiteMeasurement(
+                site_id=site.site_id,
+                stratum=site.stratum,
+                outcome=stage_result.outcome,
+                stopping_size=stage_result.stopping_crowd_size,
+            )
+        )
+    return result

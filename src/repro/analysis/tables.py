@@ -1,0 +1,50 @@
+"""Monospace table rendering for bench output.
+
+The benches print paper-style tables; :class:`TextTable` keeps the
+column alignment readable in a terminal and in the captured
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class TextTable:
+    """Fixed-width text table with a header row."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append one row (cells are str()-ed; count must match)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """The formatted table."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

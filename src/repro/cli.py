@@ -1,0 +1,143 @@
+"""Command-line interface: run MFC experiments from a shell.
+
+    python -m repro list
+    python -m repro run qtnp --threshold-ms 100 --max-crowd 55 --seed 1
+    python -m repro run univ3 --mr 2 --threshold-ms 250 --background 20.3
+    python -m repro run univ2 --mr 2 --threshold-ms 250 --stage Base
+
+Prints the experiment summary and the inferred constraint report, and
+exits non-zero if the experiment aborted (e.g. too few live clients).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import MFCConfig
+from repro.core.inference import infer_constraints
+from repro.core.runner import MFCRunner
+from repro.core.stages import StageKind
+from repro.core.variants import mfc_mr_config, staggered_config
+from repro.server import presets
+from repro.workload.fleet import FleetSpec
+
+SCENARIOS = {
+    "lab": presets.lab_validation_server,
+    "lab-fastcgi": lambda: presets.lab_validation_server("fastcgi"),
+    "qtnp": presets.qtnp_server,
+    "qtp": presets.qtp_cluster,
+    "univ1": presets.univ1_server,
+    "univ2": presets.univ2_server,
+    "univ3": presets.univ3_server,
+}
+
+STAGE_NAMES = {kind.value.lower(): kind for kind in StageKind}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mini-Flash Crowd profiling experiments (USENIX ATC 2008 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available target scenarios")
+
+    run = sub.add_parser("run", help="run an MFC experiment against a scenario")
+    run.add_argument("scenario", choices=sorted(SCENARIOS))
+    run.add_argument("--threshold-ms", type=float, default=100.0,
+                     help="θ degradation threshold (default 100)")
+    run.add_argument("--max-crowd", type=int, default=55,
+                     help="crowd-size cap in requests (default 55)")
+    run.add_argument("--step", type=int, default=5,
+                     help="crowd increment per epoch (default 5)")
+    run.add_argument("--clients", type=int, default=65,
+                     help="fleet size (default 65)")
+    run.add_argument("--min-clients", type=int, default=None,
+                     help="abort below this many live clients "
+                          "(default: the paper's 50, clamped to the fleet)")
+    run.add_argument("--mr", type=int, default=1, metavar="M",
+                     help="MFC-mr: parallel requests per client (default 1)")
+    run.add_argument("--stagger-ms", type=float, default=None,
+                     help="staggered MFC: one arrival per this many ms")
+    run.add_argument("--stage", action="append", default=None,
+                     choices=sorted(STAGE_NAMES),
+                     help="restrict to a stage (repeatable; default: all)")
+    run.add_argument("--background", type=float, default=None,
+                     help="override background traffic (requests/second)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--quiet", action="store_true",
+                     help="print only the one-line stage outcomes")
+    return parser
+
+
+def _build_config(args) -> MFCConfig:
+    config = MFCConfig(
+        threshold_s=args.threshold_ms / 1000.0,
+        max_crowd=args.max_crowd,
+        crowd_step=args.step,
+        initial_crowd=args.step,
+        # the paper's 50-client floor, clamped so small `--clients`
+        # fleets (with their PlanetLab-like flaky fraction) still run
+        min_clients=(
+            args.min_clients
+            if args.min_clients is not None
+            else min(50, max(1, int(args.clients * 0.75)))
+        ),
+    )
+    if args.mr > 1:
+        config = mfc_mr_config(
+            config,
+            requests_per_client=args.mr,
+            threshold_s=args.threshold_ms / 1000.0,
+            max_crowd=args.max_crowd,
+        )
+    if args.stagger_ms is not None:
+        config = staggered_config(config, interval_s=args.stagger_ms / 1000.0)
+    return config
+
+
+def cmd_list(_args) -> int:
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]()
+        print(f"{name:<12} {scenario.notes or scenario.name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    scenario = SCENARIOS[args.scenario]()
+    if args.background is not None:
+        scenario = scenario.with_background(args.background)
+    stage_kinds = (
+        [STAGE_NAMES[s] for s in args.stage] if args.stage else None
+    )
+    runner = MFCRunner.build(
+        scenario,
+        fleet_spec=FleetSpec(n_clients=args.clients),
+        config=_build_config(args),
+        stage_kinds=stage_kinds,
+        seed=args.seed,
+    )
+    result = runner.run()
+    if args.quiet:
+        for name, stage in result.stages.items():
+            print(f"{name}\t{stage.describe()}")
+    else:
+        print(result.summary())
+        print()
+        print(infer_constraints(result).summary())
+    return 1 if result.aborted else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Site content substrate: objects, synthetic sites, crawler, classifier.
+
+The paper's profiling stage crawls a target site and classifies the
+discovered URLs by *content type* (text, binaries, images, queries) and
+by *expected resource impact*: static objects over 100 KB become the
+**Large Objects** group (network-bandwidth probes) and dynamic URLs
+with responses under 15 KB become the **Small Queries** group (back-end
+processing probes).  This package reproduces that pipeline over
+synthetic site trees.
+"""
+
+from repro.content.objects import ContentType, WebObject
+from repro.content.site import SiteContent, SiteContentBuilder
+from repro.content.crawler import CrawlResult, Crawler
+from repro.content.classifier import (
+    ContentProfile,
+    LARGE_OBJECT_MIN_BYTES,
+    SMALL_QUERY_MAX_BYTES,
+    classify_extension,
+    profile_content,
+)
+
+__all__ = [
+    "ContentProfile",
+    "ContentType",
+    "CrawlResult",
+    "Crawler",
+    "LARGE_OBJECT_MIN_BYTES",
+    "SMALL_QUERY_MAX_BYTES",
+    "SiteContent",
+    "SiteContentBuilder",
+    "WebObject",
+    "classify_extension",
+    "profile_content",
+]

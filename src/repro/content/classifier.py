@@ -1,0 +1,112 @@
+"""Content classification heuristics (paper §2.2.1).
+
+Two outputs matter to the MFC stages:
+
+- **Large Objects**: static regular files, binaries and images with
+  size >= 100 KB — "a fairly large lower bound … to allow TCP to exit
+  slow start and fully utilize the available network bandwidth".
+- **Small Queries**: URLs that "appear to generate dynamic responses"
+  (a ``?`` indicating a CGI script) whose response is under 15 KB, so
+  "the network bandwidth remains under-utilized" while the back end
+  works.
+
+Classification is name-and-size based only, exactly as in the paper —
+no server cooperation required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.content.objects import ContentType, WebObject
+
+#: paper constants (§2.2.1)
+LARGE_OBJECT_MIN_BYTES = 100 * 1024
+SMALL_QUERY_MAX_BYTES = 15 * 1024
+
+_TEXT_EXTENSIONS = (".txt", ".html", ".htm", ".css", ".xml")
+_BINARY_EXTENSIONS = (".pdf", ".exe", ".tar.gz", ".tgz", ".zip", ".gz", ".iso", ".dmg")
+_IMAGE_EXTENSIONS = (".gif", ".jpg", ".jpeg", ".png", ".bmp")
+
+
+def classify_extension(path: str) -> ContentType:
+    """Classify a URL path by the paper's file-name heuristics."""
+    if "?" in path:
+        return ContentType.QUERY
+    lower = path.lower()
+    for ext in _BINARY_EXTENSIONS:
+        if lower.endswith(ext):
+            return ContentType.BINARY
+    for ext in _IMAGE_EXTENSIONS:
+        if lower.endswith(ext):
+            return ContentType.IMAGE
+    for ext in _TEXT_EXTENSIONS:
+        if lower.endswith(ext):
+            return ContentType.TEXT
+    # extensionless paths default to text (e.g. '/', '/about')
+    return ContentType.TEXT
+
+
+@dataclass
+class ContentProfile:
+    """The profiling stage's output: per-stage candidate objects."""
+
+    base_page: str
+    large_objects: List[WebObject] = field(default_factory=list)
+    small_queries: List[WebObject] = field(default_factory=list)
+    by_class: Dict[ContentType, List[WebObject]] = field(default_factory=dict)
+
+    @property
+    def has_large_objects(self) -> bool:
+        """True when the Large Object stage can run against this site."""
+        return bool(self.large_objects)
+
+    @property
+    def has_small_queries(self) -> bool:
+        """True when the Small Query stage can run against this site."""
+        return bool(self.small_queries)
+
+    def summary(self) -> str:
+        """Human-readable profile digest."""
+        counts = ", ".join(
+            f"{ctype.value}={len(objs)}" for ctype, objs in sorted(
+                self.by_class.items(), key=lambda kv: kv[0].value
+            )
+        )
+        return (
+            f"profile(base={self.base_page}, large_objects={len(self.large_objects)}, "
+            f"small_queries={len(self.small_queries)}; {counts})"
+        )
+
+
+def profile_content(
+    objects: Iterable[WebObject],
+    base_page: str,
+    large_object_min_bytes: float = LARGE_OBJECT_MIN_BYTES,
+    small_query_max_bytes: float = SMALL_QUERY_MAX_BYTES,
+) -> ContentProfile:
+    """Bucket crawled objects into the MFC request categories.
+
+    The name-based class (from :func:`classify_extension`) is recorded
+    for reporting; stage eligibility uses the object's *reported size*
+    (the paper gets it from a HEAD/GET probe) against the two bounds.
+    """
+    profile = ContentProfile(base_page=base_page)
+    for obj in objects:
+        name_class = classify_extension(obj.path)
+        profile.by_class.setdefault(name_class, []).append(obj)
+        if obj.dynamic:
+            if obj.size_bytes < small_query_max_bytes:
+                profile.small_queries.append(obj)
+        elif obj.size_bytes >= large_object_min_bytes and name_class in (
+            ContentType.TEXT,
+            ContentType.BINARY,
+            ContentType.IMAGE,
+        ):
+            profile.large_objects.append(obj)
+    # deterministic ordering: larger objects first (better bandwidth
+    # probes), smaller queries first (cheaper back-end probes)
+    profile.large_objects.sort(key=lambda o: (-o.size_bytes, o.path))
+    profile.small_queries.sort(key=lambda o: (o.size_bytes, o.path))
+    return profile

@@ -1,0 +1,77 @@
+"""Site crawler: the discovery half of the MFC profiling stage.
+
+The paper's coordinator "crawls the target site and classifies the
+objects discovered" (§2.2.1), issuing HEAD requests for files and GET
+requests for queries to learn response sizes.  Our crawler walks the
+link graph breadth-first from the base page, with budget caps so that
+profiling a huge site stays "light-weight" as the paper requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.content.objects import WebObject
+from repro.content.site import SiteContent
+
+#: optional hook: called for each fetched object, e.g. to simulate the
+#: HEAD/GET cost against the live server during a cooperative run
+FetchCallback = Callable[[WebObject], None]
+
+
+@dataclass
+class CrawlResult:
+    """Everything the crawl discovered."""
+
+    discovered: List[WebObject] = field(default_factory=list)
+    visited_paths: Set[str] = field(default_factory=set)
+    #: links that resolved to nothing (dangling hrefs → 404s)
+    broken_links: List[str] = field(default_factory=list)
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.discovered)
+
+
+class Crawler:
+    """Breadth-first crawl over a :class:`SiteContent` link graph."""
+
+    def __init__(
+        self,
+        max_objects: int = 500,
+        max_depth: int = 8,
+        fetch_callback: Optional[FetchCallback] = None,
+    ) -> None:
+        if max_objects < 1 or max_depth < 0:
+            raise ValueError("crawl budgets must be positive")
+        self.max_objects = max_objects
+        self.max_depth = max_depth
+        self.fetch_callback = fetch_callback
+
+    def crawl(self, site: SiteContent, start: Optional[str] = None) -> CrawlResult:
+        """Walk the site from *start* (default: the base page)."""
+        result = CrawlResult()
+        start_path = start if start is not None else site.base_page
+        queue = deque([(start_path, 0)])
+        while queue:
+            path, depth = queue.popleft()
+            if path in result.visited_paths:
+                continue
+            result.visited_paths.add(path)
+            obj = site.lookup(path)
+            if obj is None:
+                result.broken_links.append(path)
+                continue
+            if len(result.discovered) >= self.max_objects:
+                result.truncated = True
+                break
+            result.discovered.append(obj)
+            if self.fetch_callback is not None:
+                self.fetch_callback(obj)
+            if depth < self.max_depth:
+                for link in obj.links:
+                    if link not in result.visited_paths:
+                        queue.append((link, depth + 1))
+        return result

@@ -1,0 +1,57 @@
+"""Web objects: the unit of content a server hosts.
+
+A :class:`WebObject` knows everything the substrate needs to serve it:
+its response size, whether it is dynamically generated (and then how
+many database rows the generating query touches), and the outgoing
+links the crawler follows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class ContentType(enum.Enum):
+    """The paper's content classes (§2.2.1)."""
+
+    TEXT = "text"       # .txt, .html
+    BINARY = "binary"   # .pdf, .exe, .tar.gz ...
+    IMAGE = "image"     # .gif, .jpg ...
+    QUERY = "query"     # URL with '?' → CGI script / dynamic
+
+
+@dataclass(frozen=True)
+class WebObject:
+    """One addressable object on a site."""
+
+    path: str
+    content_type: ContentType
+    size_bytes: float
+    dynamic: bool = False
+    #: for dynamic objects: rows the back-end query touches
+    db_rows: int = 0
+    #: outgoing links discoverable by the crawler
+    links: Tuple[str, ...] = field(default_factory=tuple)
+    #: whether server-side caches may store the response
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"object path must start with '/': {self.path!r}")
+        if self.size_bytes < 0:
+            raise ValueError("object size cannot be negative")
+        if self.dynamic and self.content_type is not ContentType.QUERY:
+            raise ValueError("dynamic objects must have QUERY content type")
+        if not self.dynamic and self.db_rows:
+            raise ValueError("static objects cannot touch database rows")
+
+    @property
+    def is_query(self) -> bool:
+        """True for dynamically generated responses (CGI-style URLs)."""
+        return self.dynamic
+
+    def __str__(self) -> str:
+        kind = "dyn" if self.dynamic else "static"
+        return f"{self.path} [{self.content_type.value}/{kind}, {self.size_bytes:.0f}B]"

@@ -1,0 +1,198 @@
+"""Synthetic site trees.
+
+:class:`SiteContentBuilder` generates a linked object tree with the mix
+of content the paper's crawler encounters in the wild: an ``index.html``
+base page linking to text pages, which link to images, downloadable
+binaries and CGI-style query URLs.  Sizes are drawn from configurable
+lognormal-ish distributions so both Large Objects (>=100 KB) and Small
+Queries (<15 KB) occur naturally — or can be forced absent, which the
+population study uses for sites that host no large downloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.content.objects import ContentType, WebObject
+
+
+class SiteContent:
+    """Immutable-ish container of a site's objects."""
+
+    def __init__(self, objects: Iterable[WebObject], base_page: str = "/index.html") -> None:
+        self._objects: Dict[str, WebObject] = {}
+        for obj in objects:
+            if obj.path in self._objects:
+                raise ValueError(f"duplicate object path: {obj.path}")
+            self._objects[obj.path] = obj
+        if base_page not in self._objects:
+            raise ValueError(f"base page {base_page!r} not among objects")
+        self.base_page = base_page
+
+    def lookup(self, path: str) -> Optional[WebObject]:
+        """Return the object at *path*, or None (→ HTTP 404)."""
+        return self._objects.get(path)
+
+    def paths(self) -> List[str]:
+        """All object paths, sorted for determinism."""
+        return sorted(self._objects)
+
+    def objects(self) -> List[WebObject]:
+        """All objects, sorted by path."""
+        return [self._objects[p] for p in self.paths()]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._objects
+
+    def total_bytes(self) -> float:
+        """Sum of all object sizes (static corpus size)."""
+        return sum(o.size_bytes for o in self._objects.values())
+
+
+@dataclass
+class SiteShape:
+    """Knobs for :class:`SiteContentBuilder`."""
+
+    n_pages: int = 20
+    n_images: int = 30
+    n_binaries: int = 5
+    n_queries: int = 10
+    #: HTML page sizes (uniform range, bytes)
+    page_size_range: tuple = (2_000, 30_000)
+    image_size_range: tuple = (5_000, 80_000)
+    #: binaries straddle the 100 KB Large Object bound
+    binary_size_range: tuple = (50_000, 2_000_000)
+    #: dynamic response sizes straddle the 15 KB Small Query bound
+    query_response_range: tuple = (200, 20_000)
+    query_rows_range: tuple = (100, 50_000)
+    links_per_page: int = 6
+    #: fraction of queries whose URLs accept a unique per-client
+    #: parameter (the Small Query stage prefers unique objects)
+    unique_query_fraction: float = 0.5
+
+
+class SiteContentBuilder:
+    """Deterministic random site generator."""
+
+    def __init__(self, shape: Optional[SiteShape] = None, rng: Optional[random.Random] = None) -> None:
+        self.shape = shape if shape is not None else SiteShape()
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def build(self) -> SiteContent:
+        """Generate the site tree."""
+        shape, rng = self.shape, self._rng
+        objects: List[WebObject] = []
+
+        image_paths = [f"/img/photo_{i}.jpg" for i in range(shape.n_images)]
+        binary_paths = [f"/files/release_{i}.tar.gz" for i in range(shape.n_binaries)]
+        query_paths = []
+        for i in range(shape.n_queries):
+            if rng.random() < shape.unique_query_fraction:
+                query_paths.append(f"/cgi-bin/search?q=item{i}&u=")
+            else:
+                query_paths.append(f"/cgi-bin/report?id={i}")
+        page_paths = [f"/pages/page_{i}.html" for i in range(shape.n_pages)]
+
+        linkable = page_paths + image_paths + binary_paths + query_paths
+
+        for path in image_paths:
+            objects.append(
+                WebObject(
+                    path=path,
+                    content_type=ContentType.IMAGE,
+                    size_bytes=rng.uniform(*shape.image_size_range),
+                )
+            )
+        for path in binary_paths:
+            objects.append(
+                WebObject(
+                    path=path,
+                    content_type=ContentType.BINARY,
+                    size_bytes=rng.uniform(*shape.binary_size_range),
+                )
+            )
+        for path in query_paths:
+            objects.append(
+                WebObject(
+                    path=path,
+                    content_type=ContentType.QUERY,
+                    size_bytes=rng.uniform(*shape.query_response_range),
+                    dynamic=True,
+                    db_rows=rng.randint(*shape.query_rows_range),
+                )
+            )
+        for path in page_paths:
+            n_links = min(shape.links_per_page, len(linkable))
+            objects.append(
+                WebObject(
+                    path=path,
+                    content_type=ContentType.TEXT,
+                    size_bytes=rng.uniform(*shape.page_size_range),
+                    links=tuple(rng.sample(linkable, n_links)),
+                )
+            )
+
+        # base page links to every page so a BFS crawl reaches everything
+        objects.append(
+            WebObject(
+                path="/index.html",
+                content_type=ContentType.TEXT,
+                size_bytes=rng.uniform(*shape.page_size_range),
+                links=tuple(page_paths) or tuple(linkable[: shape.links_per_page]),
+            )
+        )
+        return SiteContent(objects, base_page="/index.html")
+
+
+def minimal_site(
+    large_object_bytes: float = 150_000.0,
+    query_response_bytes: float = 500.0,
+    query_rows: int = 50_000,
+    n_unique_queries: int = 0,
+    unique_queries_cacheable: bool = False,
+) -> SiteContent:
+    """The smallest site exercising all three MFC stages.
+
+    Handy for lab-style tests: one base page, one Large Object, one
+    shared Small Query and optionally a pool of unique query URLs.
+    Unique queries default to uncacheable — they model per-client
+    parameterized requests that bypass response caches, which is what
+    makes the Small Query stage exercise the back end at all (the
+    paper's §2.3 caching caveat).
+    """
+    unique_paths = tuple(f"/cgi-bin/q?x=1&u={i}" for i in range(n_unique_queries))
+    objects = [
+        # every object is linked from the index so the profiling crawl
+        # discovers the whole stage-relevant corpus
+        WebObject(
+            "/index.html",
+            ContentType.TEXT,
+            4_000.0,
+            links=("/big.tar.gz", "/cgi-bin/q?x=1") + unique_paths,
+        ),
+        WebObject("/big.tar.gz", ContentType.BINARY, large_object_bytes),
+        WebObject(
+            "/cgi-bin/q?x=1",
+            ContentType.QUERY,
+            query_response_bytes,
+            dynamic=True,
+            db_rows=query_rows,
+        ),
+    ]
+    for path in unique_paths:
+        objects.append(
+            WebObject(
+                path,
+                ContentType.QUERY,
+                query_response_bytes,
+                dynamic=True,
+                db_rows=query_rows,
+                cacheable=unique_queries_cacheable,
+            )
+        )
+    return SiteContent(objects)

@@ -1,0 +1,61 @@
+"""The paper's contribution: the Mini-Flash Crowd profiling service.
+
+- :mod:`repro.core.config` — every paper constant in one place
+  (θ thresholds, epoch step, the 15-client significance minimum, the
+  50-client fleet minimum, the 10 s request timeout and epoch gap,
+  median vs. 90th-percentile rules).
+- :mod:`repro.core.scheduler` — the synchronization arithmetic:
+  command client *i* at ``T − 0.5·T_coord(i) − 1.5·T_target(i)``.
+- :mod:`repro.core.client` — the client agent: register, answer delay
+  probes, measure base response times, fire synchronized requests,
+  kill at 10 s, report normalized response times.
+- :mod:`repro.core.stages` — Base / Small Query / Large Object stage
+  definitions, including per-stage object assignment and degradation
+  percentile.
+- :mod:`repro.core.epochs` — the epoch engine: progress, the
+  N−1/N/N+1 check phase, terminate.
+- :mod:`repro.core.coordinator` — the orchestrator.
+- :mod:`repro.core.inference` — sub-system constraint verdicts and the
+  §6 DDoS-vulnerability analysis.
+- :mod:`repro.core.variants` — MFC-mr and the staggered MFC.
+- :mod:`repro.core.measurers` — the independent-measurer extension.
+- :mod:`repro.core.runner` — one-call world assembly + experiment run.
+"""
+
+from repro.core.config import MFCConfig
+from repro.core.records import (
+    ClientReport,
+    EpochResult,
+    MFCResult,
+    StageOutcome,
+    StageResult,
+)
+from repro.core.stages import StageKind, StagePlan, standard_stages
+from repro.core.scheduler import SyncScheduler
+from repro.core.client import MFCClient
+from repro.core.coordinator import Coordinator
+from repro.core.inference import ConstraintReport, infer_constraints
+from repro.core.variants import mfc_mr_config, staggered_config
+from repro.core.measurers import Measurer
+from repro.core.runner import MFCRunner
+
+__all__ = [
+    "ClientReport",
+    "ConstraintReport",
+    "Coordinator",
+    "EpochResult",
+    "MFCClient",
+    "MFCConfig",
+    "MFCResult",
+    "MFCRunner",
+    "Measurer",
+    "StageKind",
+    "StageOutcome",
+    "StagePlan",
+    "StageResult",
+    "SyncScheduler",
+    "infer_constraints",
+    "mfc_mr_config",
+    "staggered_config",
+    "standard_stages",
+]

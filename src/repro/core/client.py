@@ -1,0 +1,162 @@
+"""The MFC client agent (paper Figure 2(b)).
+
+Client-side behaviour, verbatim from the paper:
+
+1. register with the coordinator; answer liveness/delay probes
+   (PlanetLab nodes are flaky — unresponsive nodes simply stay silent);
+2. measure ``T(i, target)`` and the base response time of the objects
+   it will request, reporting both to the coordinator;
+3. on a command: issue the HTTP request(s) immediately (the
+   coordinator timed the command so the request arrives at the
+   synchronized instant); kill any request outstanding at 10 s and
+   record ``code=ERR, response time = 10 s``;
+4. report ``(client ID, HTTP code, numbytes, response time)`` plus the
+   normalized response time back to the coordinator over the lossy
+   control channel.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.core.config import MFCConfig
+from repro.core.records import ClientReport
+from repro.net.control import ControlChannel
+from repro.net.topology import ClientNode
+from repro.server.http import HTTPRequest, Method, Status
+from repro.sim.events import AnyOf
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class RequestCommand:
+    """Coordinator → client epoch command."""
+
+    epoch_key: Tuple[str, int]      # (stage name, epoch sequence no.)
+    path: str
+    method: Method
+    n_parallel: int = 1             # MFC-mr parallel connections
+
+
+class MFCClient:
+    """One wide-area measurement client."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: ClientNode,
+        service,
+        control: ControlChannel,
+        config: MFCConfig,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.service = service
+        self.control = control
+        self.config = config
+        self.client_id = node.client_id
+        self._rng = rng if rng is not None else random.Random(0)
+        #: base response time per object path (step 2 above)
+        self.base_times: Dict[str, float] = {}
+        #: measured RTT to the target (reported to the coordinator)
+        self.measured_target_rtt: Optional[float] = None
+        self.requests_issued = 0
+        #: where to deposit reports (wired by the coordinator)
+        self.report_sink: Optional[Callable] = None
+
+    # -- liveness -------------------------------------------------------------
+
+    def probe(self, reply: Callable[[str], None]) -> None:
+        """Liveness probe: flaky nodes stay silent; others answer
+        after one control-channel round trip."""
+        if self._rng.random() < self.node.spec.unresponsive_prob:
+            return
+        self.control.ping(self.node.latency_to_coord, lambda _rtt: reply(self.client_id))
+
+    # -- delay computation -------------------------------------------------------
+
+    def measure_target_rtt(self) -> Generator:
+        """Process body: ping the target, record and return the RTT."""
+        rtt = self.node.latency_to_target.sample_rtt()
+        yield self.sim.timeout(rtt)
+        self.measured_target_rtt = rtt
+        return rtt
+
+    def measure_base(self, paths, method: Method) -> Generator:
+        """Process body: sequentially measure base response times."""
+        for path in paths:
+            status, _nbytes, elapsed = yield from self._issue_once(path, method)
+            # a timed-out base measurement still yields a (pessimal)
+            # base value; the paper's normalization needs *something*
+            self.base_times[path] = elapsed
+            yield self.sim.timeout(self.config.base_measure_gap_s)
+        return dict(self.base_times)
+
+    # -- epoch execution --------------------------------------------------------
+
+    def execute_command(self, command: RequestCommand) -> None:
+        """Datagram handler: fire the commanded request(s) now."""
+        for _ in range(command.n_parallel):
+            self.sim.process(self._commanded_request(command))
+
+    def _commanded_request(self, command: RequestCommand) -> Generator:
+        status, nbytes, elapsed = yield from self._issue_once(
+            command.path, command.method
+        )
+        base = self.base_times.get(command.path, 0.0)
+        report = ClientReport(
+            client_id=self.client_id,
+            status=status,
+            numbytes=nbytes,
+            response_time_s=elapsed,
+            normalized_s=elapsed - base,
+        )
+        if self.report_sink is not None:
+            self.control.send(
+                self.node.latency_to_coord,
+                self.report_sink,
+                (command.epoch_key, report),
+            )
+
+    # -- the request primitive ------------------------------------------------------
+
+    def _issue_once(self, path: str, method: Method) -> Generator:
+        """Issue one HTTP request with the 10 s kill timer.
+
+        Returns ``(status, numbytes, elapsed_s)``.  Elapsed time runs
+        from command receipt (the paper's client starts its TCP
+        handshake immediately on command).
+        """
+        issued_at = self.sim.now
+        self.requests_issued += 1
+        rtt = self.node.latency_to_target.sample_rtt()
+        request = HTTPRequest(
+            method=method, path=path, client_id=self.client_id, is_mfc=True
+        )
+
+        def request_flow():
+            # SYN + SYN-ACK + request-on-ACK: first byte reaches the
+            # server 1.5 RTT after the client starts the handshake
+            yield self.sim.timeout(1.5 * rtt)
+            response = yield self.service.submit(request, self.node, rtt)
+            return response
+
+        proc = self.sim.process(request_flow())
+        killer = self.sim.timeout(self.config.request_timeout_s)
+        try:
+            yield AnyOf(self.sim, [proc, killer])
+        except Exception:
+            # treat any transport failure like a timeout/ERR
+            return Status.CLIENT_TIMEOUT, 0.0, self.config.request_timeout_s
+        if proc.processed and proc.ok:
+            response = proc.value
+            return (
+                response.status,
+                response.bytes_transferred,
+                self.sim.now - issued_at,
+            )
+        # kill the request: record ERR at exactly the timeout value
+        return Status.CLIENT_TIMEOUT, 0.0, self.config.request_timeout_s

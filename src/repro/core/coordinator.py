@@ -1,0 +1,253 @@
+"""The MFC coordinator (paper Figure 2(a)).
+
+Orchestrates one experiment end-to-end:
+
+1. **Registration / liveness** — probe every registered client; abort
+   unless ≥ 50 answer within 1 s.
+2. **Delay computation** (per stage) — measure ``T_coord(i)`` by ping;
+   have each client measure ``T_target(i)`` and the base response time
+   of its assigned object, *sequentially* so the measurements do not
+   disturb each other.
+3. **Epochs** — for each crowd size from the
+   :class:`~repro.core.epochs.EpochPlanner`: pick participants at
+   random, compute the synchronized dispatch plan, fire commands over
+   the lossy control channel, wait out the epoch gap, collect whatever
+   reports arrived, hand the aggregate to the planner.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.client import MFCClient, RequestCommand
+from repro.core.config import MFCConfig
+from repro.core.epochs import EpochPlanner, degradation_aggregate
+from repro.core.records import (
+    ClientReport,
+    EpochLabel,
+    EpochResult,
+    MFCResult,
+    StageOutcome,
+    StageResult,
+)
+from repro.core.scheduler import DelayEstimates, SyncScheduler, naive_plan
+from repro.core.stages import StagePlan
+from repro.net.control import ControlChannel
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+class Coordinator:
+    """Single coordinator driving a fleet of MFC clients."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clients: Sequence[MFCClient],
+        control: ControlChannel,
+        config: MFCConfig,
+        target_name: str = "target",
+        rng: Optional[random.Random] = None,
+        use_naive_scheduling: bool = False,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.clients = list(clients)
+        self.control = control
+        self.config = config
+        self.target_name = target_name
+        self._rng = rng if rng is not None else random.Random(0)
+        #: ablation knob: dispatch all commands immediately instead of
+        #: using the synchronization arithmetic
+        self.use_naive_scheduling = use_naive_scheduling
+        self.scheduler = SyncScheduler(config.stagger_interval_s)
+        self._mailbox: Dict[Tuple[str, int], List[ClientReport]] = {}
+        self._epoch_seq = 0
+        for client in self.clients:
+            client.report_sink = self._deliver_report
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, stages: Sequence[StagePlan]) -> Process:
+        """Run the full experiment; the process returns an MFCResult."""
+        return self.sim.process(self._experiment(list(stages)))
+
+    # -- report plumbing ----------------------------------------------------------
+
+    def _deliver_report(self, payload: Tuple[Tuple[str, int], ClientReport]) -> None:
+        epoch_key, report = payload
+        self._mailbox.setdefault(epoch_key, []).append(report)
+
+    # -- experiment ------------------------------------------------------------------
+
+    def _experiment(self, stages: List[StagePlan]) -> Generator:
+        result = MFCResult(target_name=self.target_name, started_at=self.sim.now)
+
+        live = yield from self._liveness_check()
+        result.live_clients = len(live)
+        if len(live) < self.config.min_clients:
+            result.aborted = True
+            result.abort_reason = (
+                f"only {len(live)} live clients "
+                f"(need {self.config.min_clients}); experiment aborted"
+            )
+            result.ended_at = self.sim.now
+            return result
+
+        for stage in stages:
+            stage_result = yield from self._run_stage(stage, live)
+            result.stages[stage.name] = stage_result
+            result.total_requests += stage_result.total_requests
+        result.ended_at = self.sim.now
+        return result
+
+    def _liveness_check(self) -> Generator:
+        """Probe every client; keep those answering within the window."""
+        answered: List[str] = []
+        for client in self.clients:
+            client.probe(answered.append)
+        yield self.sim.timeout(self.config.liveness_timeout_s)
+        alive = set(answered)
+        return [c for c in self.clients if c.client_id in alive]
+
+    # -- per stage --------------------------------------------------------------------
+
+    def _run_stage(self, stage: StagePlan, live: List[MFCClient]) -> Generator:
+        stage_result = StageResult(
+            stage_name=stage.name,
+            outcome=StageOutcome.ABORTED,
+            started_at=self.sim.now,
+        )
+
+        estimates = yield from self._delay_computation(stage, live)
+        stage_result.total_requests += len(live)  # base measurements
+
+        planner = EpochPlanner(
+            self.config,
+            max_feasible_crowd=len(live) * self.config.requests_per_client,
+        )
+        while True:
+            nxt = planner.next_epoch()
+            if nxt is None:
+                break
+            crowd, label = nxt
+            epoch = yield from self._run_epoch(stage, crowd, label, live, estimates)
+            stage_result.epochs.append(epoch)
+            stage_result.total_requests += crowd
+            planner.record(epoch)
+
+        stage_result.outcome = planner.outcome or StageOutcome.NO_STOP
+        stage_result.stopping_crowd_size = planner.stopping_crowd_size
+        stage_result.earliest_degraded_crowd = planner.earliest_degraded_crowd
+        stage_result.reason = planner.reason
+        stage_result.ended_at = self.sim.now
+        return stage_result
+
+    def _delay_computation(
+        self, stage: StagePlan, live: List[MFCClient]
+    ) -> Generator:
+        """Measure T_coord / T_target / base response times (§2.2.4)."""
+        estimates: Dict[str, DelayEstimates] = {}
+        # T_coord: coordinator pings every client in parallel
+        coord_rtts: Dict[str, float] = {}
+        for client in live:
+            self.control.ping(
+                client.node.latency_to_coord,
+                lambda rtt, cid=client.client_id: coord_rtts.setdefault(cid, rtt),
+            )
+        yield self.sim.timeout(self.config.liveness_timeout_s)
+
+        # T_target + base response times: strictly sequential so the
+        # measurements do not impact each other (§2.2.3)
+        for index, client in enumerate(live):
+            target_rtt = yield from client.measure_target_rtt()
+            path = stage.object_for(index)
+            yield from client.measure_base([path], stage.method)
+            estimates[client.client_id] = DelayEstimates(
+                client_id=client.client_id,
+                coord_rtt_s=coord_rtts.get(
+                    client.client_id, client.node.latency_to_coord.base_rtt
+                ),
+                target_rtt_s=target_rtt,
+            )
+        return estimates
+
+    # -- per epoch --------------------------------------------------------------------
+
+    def _select_participants(
+        self, live: List[MFCClient], n_clients: int
+    ) -> List[MFCClient]:
+        if self.config.random_client_selection:
+            return self._rng.sample(live, n_clients)
+        return live[:n_clients]
+
+    def _run_epoch(
+        self,
+        stage: StagePlan,
+        crowd: int,
+        label: EpochLabel,
+        live: List[MFCClient],
+        estimates: Dict[str, DelayEstimates],
+    ) -> Generator:
+        self._epoch_seq += 1
+        epoch_key = (stage.name, self._epoch_seq)
+        m = self.config.requests_per_client
+        n_clients = min(math.ceil(crowd / m), len(live))
+        participants = self._select_participants(live, n_clients)
+        scheduled_requests = n_clients * m
+
+        part_estimates = [estimates[c.client_id] for c in participants]
+        now = self.sim.now
+        if self.use_naive_scheduling:
+            plans = naive_plan(now, part_estimates)
+            target_time = now
+        else:
+            target_time = (
+                self.scheduler.earliest_feasible_T(now, part_estimates)
+                + self.config.schedule_lead_s
+            )
+            plans = self.scheduler.plan(now, target_time, part_estimates)
+
+        by_id = {c.client_id: c for c in participants}
+        for plan in plans:
+            client = by_id[plan.client_id]
+            index = live.index(client)
+            command = RequestCommand(
+                epoch_key=epoch_key,
+                path=stage.object_for(index),
+                method=stage.method,
+                n_parallel=m,
+            )
+            self.sim.call_at(
+                plan.dispatch_time,
+                lambda c=client, cmd=command: self.control.send(
+                    c.node.latency_to_coord, c.execute_command, cmd
+                ),
+            )
+
+        # wait out the epoch: commands, requests (≤10 s), reports
+        drain_until = (
+            max(p.intended_arrival for p in plans)
+            + self.config.epoch_gap_s
+            + self.config.report_slack_s
+        )
+        yield self.sim.timeout(max(drain_until - self.sim.now, 0.0))
+
+        reports = self._mailbox.pop(epoch_key, [])
+        epoch = EpochResult(
+            index=self._epoch_seq,
+            label=label,
+            crowd_size=scheduled_requests,
+            clients_used=n_clients,
+            target_time=target_time,
+            reports=reports,
+            missing_reports=scheduled_requests - len(reports),
+        )
+        if reports:
+            epoch.aggregate_normalized_s = degradation_aggregate(
+                [r.normalized_s for r in reports], stage.degradation_quantile
+            )
+            epoch.degraded = epoch.aggregate_normalized_s > self.config.threshold_s
+        return epoch

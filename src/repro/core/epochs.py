@@ -1,0 +1,171 @@
+"""Epoch planning: progress, check phase, terminate (paper §2.2.3).
+
+The :class:`EpochPlanner` is a pure state machine — no simulation
+inside — so the stopping logic is unit-testable in isolation:
+
+1. **Check**: when the stage's degradation quantile of normalized
+   response times exceeds θ at crowd size N (and N is statistically
+   significant, i.e. ≥ 15), run three confirmation epochs at N−1, N
+   and N+1; the first of them to exceed θ confirms the constraint.
+2. **Progress**: otherwise grow the crowd by the step.
+3. **Terminate**: a confirmed check stops the stage with crowd N; a
+   crowd exceeding the cap (or the client supply) ends it as NoStop.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import MFCConfig
+from repro.core.records import EpochLabel, EpochResult, StageOutcome
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of *values* (q in [0, 1])."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    frac = position - lower
+    interpolated = ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+    # clamp float rounding back inside the bracketing samples
+    return min(max(interpolated, ordered[lower]), ordered[upper])
+
+
+def median(values: Sequence[float]) -> float:
+    """The 0.5 quantile."""
+    return quantile(values, 0.5)
+
+
+def degradation_aggregate(values: Sequence[float], required_fraction: float) -> float:
+    """The statistic the stopping rule compares against θ.
+
+    "At least ``required_fraction`` of the clients observed a > θ
+    increase" is equivalent to ``quantile(values, 1 − fraction) > θ``:
+    the median rule uses fraction 0.5, the Large Object rule 0.9.
+    """
+    return quantile(values, 1.0 - required_fraction)
+
+
+class _PlannerState(enum.Enum):
+    NORMAL = "normal"
+    CHECKING = "checking"
+    DONE = "done"
+
+
+class EpochPlanner:
+    """Drives one stage's epoch sequence."""
+
+    #: check-phase crowd offsets relative to the triggering crowd N
+    CHECK_SEQUENCE = (
+        (EpochLabel.CHECK_MINUS, -1),
+        (EpochLabel.CHECK_REPEAT, 0),
+        (EpochLabel.CHECK_PLUS, +1),
+    )
+
+    def __init__(self, config: MFCConfig, max_feasible_crowd: Optional[int] = None) -> None:
+        config.validate()
+        self.config = config
+        #: hard cap from client supply (len(live) × requests_per_client)
+        self.max_feasible_crowd = (
+            min(config.max_crowd, max_feasible_crowd)
+            if max_feasible_crowd is not None
+            else config.max_crowd
+        )
+        self._state = _PlannerState.NORMAL
+        self._next_crowd = min(config.initial_crowd, self.max_feasible_crowd)
+        self._check_queue: List[Tuple[EpochLabel, int]] = []
+        self._trigger_crowd: Optional[int] = None
+        self._exhausted = False
+
+        self.outcome: Optional[StageOutcome] = None
+        self.stopping_crowd_size: Optional[int] = None
+        self.earliest_degraded_crowd: Optional[int] = None
+        self.reason = ""
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once an outcome is decided."""
+        return self._state is _PlannerState.DONE
+
+    def next_epoch(self) -> Optional[Tuple[int, EpochLabel]]:
+        """The next ``(crowd_size, label)`` to run, or None when done."""
+        if self._state is _PlannerState.DONE:
+            return None
+        if self._state is _PlannerState.CHECKING:
+            label, offset = self._check_queue[0]
+            crowd = max(self._trigger_crowd + offset, 1)
+            return (min(crowd, self.max_feasible_crowd), label)
+        if self._next_crowd > self.max_feasible_crowd or self._exhausted:
+            self._finish(StageOutcome.NO_STOP, reason="crowd cap reached")
+            return None
+        return (self._next_crowd, EpochLabel.NORMAL)
+
+    # -- transitions --------------------------------------------------------------
+
+    def record(self, epoch: EpochResult) -> None:
+        """Feed back the result of the epoch issued by ``next_epoch``."""
+        if self._state is _PlannerState.DONE:
+            raise RuntimeError("planner already finished")
+        if epoch.degraded and self.earliest_degraded_crowd is None:
+            self.earliest_degraded_crowd = epoch.crowd_size
+
+        if self._state is _PlannerState.CHECKING:
+            self._check_queue.pop(0)
+            if epoch.degraded:
+                self._finish(
+                    StageOutcome.STOPPED,
+                    stopping=self._trigger_crowd,
+                    reason="check phase confirmed degradation",
+                )
+                return
+            if not self._check_queue:
+                # check failed: resume progression past the trigger
+                self._state = _PlannerState.NORMAL
+                self._advance_from(self._trigger_crowd)
+            return
+
+        # NORMAL epoch
+        significant = epoch.crowd_size >= self.config.min_significant_crowd
+        if epoch.degraded and significant:
+            if self.config.check_phase:
+                self._state = _PlannerState.CHECKING
+                self._trigger_crowd = epoch.crowd_size
+                self._check_queue = list(self.CHECK_SEQUENCE)
+            else:
+                self._finish(
+                    StageOutcome.STOPPED,
+                    stopping=epoch.crowd_size,
+                    reason="degradation observed (check phase disabled)",
+                )
+            return
+        self._advance_from(epoch.crowd_size)
+
+    def _advance_from(self, crowd: int) -> None:
+        nxt = crowd + self.config.crowd_step
+        if nxt > self.max_feasible_crowd:
+            self._exhausted = True
+        self._next_crowd = nxt
+
+    def _finish(
+        self,
+        outcome: StageOutcome,
+        stopping: Optional[int] = None,
+        reason: str = "",
+    ) -> None:
+        self._state = _PlannerState.DONE
+        self.outcome = outcome
+        self.stopping_crowd_size = stopping
+        self.reason = reason

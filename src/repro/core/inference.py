@@ -1,0 +1,162 @@
+"""Constraint inference from stage outcomes.
+
+MFC is a black box probe: what it can conclude is *sub-system-level*
+provisioning verdicts (paper §3.3) plus comparative diagnoses of the
+kind the cooperating-site operators found valuable:
+
+- Base stopped, Large Object NoStop → the problem is request handling,
+  not bandwidth (the Univ-3 "frustrated video downloader" diagnosis);
+- Small Query stops far below the other stages → constrained back-end
+  data processing (and §6: high vulnerability to the simplest
+  application-level DDoS);
+- every stage stops at about the same crowd → a serialization or
+  software-configuration artifact rather than any single hardware
+  resource (the Univ-2 signature).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.records import MFCResult, StageOutcome, StageResult
+from repro.core.stages import StageKind
+
+
+class Provisioning(enum.Enum):
+    """Per-sub-system verdict."""
+
+    CONSTRAINED = "constrained"
+    ADEQUATE = "adequate"            # NoStop up to the tested crowd
+    UNKNOWN = "unknown"              # stage skipped/aborted
+
+
+#: which stage probes which sub-system (§2.2.2)
+SUBSYSTEM_BY_STAGE = {
+    StageKind.BASE.value: "http request handling",
+    StageKind.SMALL_QUERY.value: "back-end data processing",
+    StageKind.LARGE_OBJECT.value: "network access bandwidth",
+}
+
+
+@dataclass
+class ConstraintReport:
+    """Everything MFC can say about one target."""
+
+    target_name: str
+    verdicts: Dict[str, Provisioning] = field(default_factory=dict)
+    stopping_sizes: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: free-text comparative diagnoses
+    diagnoses: List[str] = field(default_factory=list)
+    #: §6: sub-systems ordered most-vulnerable-first for DDoS analysis
+    ddos_vulnerability_order: List[str] = field(default_factory=list)
+
+    def verdict_for(self, stage_name: str) -> Provisioning:
+        """Verdict for one stage's sub-system."""
+        return self.verdicts.get(stage_name, Provisioning.UNKNOWN)
+
+    def summary(self) -> str:
+        """Readable multi-line report."""
+        lines = [f"Constraint report for {self.target_name}"]
+        for stage_name, verdict in self.verdicts.items():
+            subsystem = SUBSYSTEM_BY_STAGE.get(stage_name, stage_name)
+            stop = self.stopping_sizes.get(stage_name)
+            detail = f"stops at {stop}" if stop is not None else "no stop observed"
+            lines.append(f"  {subsystem:<28} {verdict.value:<12} ({detail})")
+        for diagnosis in self.diagnoses:
+            lines.append(f"  * {diagnosis}")
+        if self.ddos_vulnerability_order:
+            lines.append(
+                "  DDoS exposure (most vulnerable first): "
+                + " > ".join(self.ddos_vulnerability_order)
+            )
+        return "\n".join(lines)
+
+
+def _verdict(stage: StageResult) -> Provisioning:
+    if stage.outcome is StageOutcome.STOPPED:
+        return Provisioning.CONSTRAINED
+    if stage.outcome is StageOutcome.NO_STOP:
+        return Provisioning.ADEQUATE
+    return Provisioning.UNKNOWN
+
+
+def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> ConstraintReport:
+    """Derive the constraint report from an experiment result.
+
+    *similar_ratio* bounds how close two stopping sizes must be to
+    count as "the same crowd size" for the serialization diagnosis.
+    """
+    report = ConstraintReport(target_name=result.target_name)
+    if result.aborted:
+        report.diagnoses.append(f"experiment aborted: {result.abort_reason}")
+        return report
+
+    for name, stage in result.stages.items():
+        report.verdicts[name] = _verdict(stage)
+        report.stopping_sizes[name] = stage.stopping_crowd_size
+
+    base = result.stages.get(StageKind.BASE.value)
+    query = result.stages.get(StageKind.SMALL_QUERY.value)
+    large = result.stages.get(StageKind.LARGE_OBJECT.value)
+
+    # Univ-3 style: request handling vs bandwidth disambiguation
+    if (
+        base is not None
+        and large is not None
+        and base.outcome is StageOutcome.STOPPED
+        and large.outcome is StageOutcome.NO_STOP
+    ):
+        report.diagnoses.append(
+            "Base degrades while Large Object does not: the constraint is "
+            "request handling, not access bandwidth."
+        )
+
+    # §6: application-level DDoS exposure via the back end
+    if (
+        query is not None
+        and large is not None
+        and query.outcome is StageOutcome.STOPPED
+        and large.outcome is StageOutcome.NO_STOP
+    ):
+        report.diagnoses.append(
+            f"back-end data processing keels over at only "
+            f"{query.stopping_crowd_size} concurrent queries while bandwidth "
+            "absorbs the tested load: highly vulnerable to simple "
+            "application-level DDoS attacks on the back end."
+        )
+
+    # Univ-2 style: all stages stop at about the same crowd
+    stopped = [
+        s.stopping_crowd_size
+        for s in result.stages.values()
+        if s.outcome is StageOutcome.STOPPED and s.stopping_crowd_size
+    ]
+    if len(stopped) >= 2 and len(stopped) == len(result.stages):
+        lo, hi = min(stopped), max(stopped)
+        if hi <= lo * similar_ratio:
+            report.diagnoses.append(
+                f"every stage stops near crowd size {lo}-{hi} irrespective of "
+                "request type: suspect request scheduling, resource "
+                "serialization or a software configuration artifact rather "
+                "than a single hardware resource."
+            )
+
+    # DDoS vulnerability ranking: smaller stopping size = more exposed
+    def sort_key(item):
+        name, stage = item
+        stop = (
+            stage.stopping_crowd_size
+            if stage.outcome is StageOutcome.STOPPED and stage.stopping_crowd_size
+            else float("inf")
+        )
+        return (stop, name)
+
+    ranked = sorted(result.stages.items(), key=sort_key)
+    report.ddos_vulnerability_order = [
+        SUBSYSTEM_BY_STAGE.get(name, name)
+        for name, stage in ranked
+        if stage.outcome is StageOutcome.STOPPED
+    ]
+    return report

@@ -1,0 +1,46 @@
+"""The MFC profiling stage (paper §2.2.1).
+
+For a non-cooperating target, the coordinator first crawls the site
+and classifies the discovered objects so it can pick Large Objects and
+Small Queries without any operator input.  Cooperating operators may
+hand over a profile instead (``profile_site`` is then skipped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.content.classifier import ContentProfile, profile_content
+from repro.content.crawler import Crawler
+from repro.content.site import SiteContent
+
+
+@dataclass(frozen=True)
+class ProfilerSettings:
+    """Crawl budgets for the profiling stage."""
+
+    max_objects: int = 500
+    max_depth: int = 8
+
+    def validate(self) -> None:
+        """Sanity-check the budgets."""
+        if self.max_objects < 1 or self.max_depth < 0:
+            raise ValueError("profiler budgets must be positive")
+
+
+def profile_site(
+    site: SiteContent,
+    settings: Optional[ProfilerSettings] = None,
+) -> ContentProfile:
+    """Crawl + classify a target site into MFC request categories.
+
+    The crawl issues HEAD-equivalent metadata fetches (object sizes are
+    read from the crawled objects, standing in for the paper's HEAD
+    probes for files and GET probes for queries).
+    """
+    settings = settings if settings is not None else ProfilerSettings()
+    settings.validate()
+    crawler = Crawler(max_objects=settings.max_objects, max_depth=settings.max_depth)
+    crawl = crawler.crawl(site)
+    return profile_content(crawl.discovered, base_page=site.base_page)

@@ -1,0 +1,102 @@
+"""MFC stage definitions (paper §2.2.2).
+
+Each stage targets one server sub-system via its request category:
+
+- **Base** — HEAD for the base page: "an estimate of basic HTTP
+  request processing time at the server".  Median rule.
+- **Small Query** — "each client makes a request for a unique
+  dynamically generated object if available; else all clients request
+  the same dynamic object"; responses < 15 KB keep the network quiet
+  while the back end works.  Median rule.
+- **Large Object** — every client requests *the same* object
+  ≥ 100 KB: TCP exits slow start, the access link saturates, and
+  server-side caching keeps storage out of the picture.  Because
+  shared mid-path bottlenecks can masquerade as server congestion,
+  this stage requires **90% of clients** over θ (§2.2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.content.classifier import ContentProfile
+from repro.server.http import Method
+
+
+class StageKind(enum.Enum):
+    """The three probe categories."""
+
+    BASE = "Base"
+    SMALL_QUERY = "SmallQuery"
+    LARGE_OBJECT = "LargeObject"
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """A runnable stage: request recipe + degradation rule."""
+
+    kind: StageKind
+    method: Method
+    #: fraction of clients that must exceed θ (0.5 = median rule)
+    degradation_quantile: float
+    #: object paths available to this stage; assignment below
+    object_paths: tuple
+
+    def object_for(self, client_index: int) -> str:
+        """The paper's ``O_{i,k}`` assignment.
+
+        Base and Large Object give every client the same path; Small
+        Query hands out unique paths round-robin when the pool has
+        them (so with enough unique queries each client gets its own).
+        """
+        if not self.object_paths:
+            raise ValueError(f"stage {self.kind.value} has no objects")
+        return self.object_paths[client_index % len(self.object_paths)]
+
+    @property
+    def name(self) -> str:
+        """Stage display name (table column header)."""
+        return self.kind.value
+
+
+def build_stage(kind: StageKind, profile: ContentProfile) -> Optional[StagePlan]:
+    """Construct one stage from a content profile; None if ineligible."""
+    if kind is StageKind.BASE:
+        return StagePlan(
+            kind=kind,
+            method=Method.HEAD,
+            degradation_quantile=0.5,
+            object_paths=(profile.base_page,),
+        )
+    if kind is StageKind.SMALL_QUERY:
+        if not profile.has_small_queries:
+            return None
+        return StagePlan(
+            kind=kind,
+            method=Method.GET,
+            degradation_quantile=0.5,
+            object_paths=tuple(o.path for o in profile.small_queries),
+        )
+    if kind is StageKind.LARGE_OBJECT:
+        if not profile.has_large_objects:
+            return None
+        # all clients request the same (largest) object
+        return StagePlan(
+            kind=kind,
+            method=Method.GET,
+            degradation_quantile=0.9,
+            object_paths=(profile.large_objects[0].path,),
+        )
+    raise ValueError(f"unknown stage kind: {kind!r}")
+
+
+def standard_stages(profile: ContentProfile) -> List[StagePlan]:
+    """The paper's stage sequence, skipping ineligible ones."""
+    stages: List[StagePlan] = []
+    for kind in (StageKind.BASE, StageKind.SMALL_QUERY, StageKind.LARGE_OBJECT):
+        plan = build_stage(kind, profile)
+        if plan is not None:
+            stages.append(plan)
+    return stages

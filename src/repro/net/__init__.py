@@ -1,0 +1,39 @@
+"""Wide-area network substrate.
+
+Models the parts of the Internet that the MFC paper's inferences depend
+on:
+
+- heterogeneous client→server round-trip latencies with jitter
+  (:mod:`repro.net.latency`);
+- a server access link, client access links and optional *shared
+  mid-path bottlenecks*, all modelled as max-min fair-shared links
+  (:mod:`repro.net.link`) — the shared-bottleneck case is why the paper
+  uses the 90th percentile rule in the Large Object stage;
+- a TCP transfer-time model with connection handshake and slow start
+  (:mod:`repro.net.tcp`) — the paper's 100 KB Large Object lower bound
+  exists to let TCP exit slow start;
+- a lossy, no-retransmit UDP-like control channel
+  (:mod:`repro.net.control`) matching the paper's coordinator/client
+  control plane.
+"""
+
+from repro.net.latency import LatencyModel, StationaryJitterLatency
+from repro.net.link import Link, Network, Transfer, TransferAborted
+from repro.net.tcp import TcpModel
+from repro.net.control import ControlChannel
+from repro.net.topology import ClientNode, CoordinatorNode, Topology, TopologySpec
+
+__all__ = [
+    "ClientNode",
+    "ControlChannel",
+    "CoordinatorNode",
+    "LatencyModel",
+    "Link",
+    "Network",
+    "StationaryJitterLatency",
+    "TcpModel",
+    "Topology",
+    "TopologySpec",
+    "Transfer",
+    "TransferAborted",
+]

@@ -1,0 +1,84 @@
+"""UDP-like control channel between coordinator and clients.
+
+The paper (§2.3): "Since the timeliness of the communication between
+the coordinator and clients is important for synchronization, we use
+UDP for all control messages.  We did not implement a retransmit
+mechanism for lost messages."  We model exactly that: a fire-and-forget
+datagram with a sampled one-way delay and a configurable loss
+probability; lost datagrams simply never invoke the handler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.net.latency import LatencyModel
+from repro.sim.kernel import Simulator
+
+Handler = Callable[[Any], None]
+
+
+class ControlChannel:
+    """Datagram delivery with loss and latency, no retransmit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[random.Random] = None,
+        loss_prob: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+        self.sim = sim
+        self.loss_prob = loss_prob
+        self._rng = rng if rng is not None else random.Random(0)
+        self.sent = 0
+        self.lost = 0
+
+    def send(
+        self,
+        latency: LatencyModel,
+        handler: Handler,
+        payload: Any,
+        extra_delay: float = 0.0,
+    ) -> bool:
+        """Send *payload* along a path described by *latency*.
+
+        ``handler(payload)`` runs after a sampled one-way delay plus
+        *extra_delay*.  Returns False if the datagram was dropped (the
+        handler then never runs — there is no retransmit, matching the
+        paper).
+        """
+        self.sent += 1
+        if self.loss_prob and self._rng.random() < self.loss_prob:
+            self.lost += 1
+            return False
+        delay = latency.sample_one_way() + extra_delay
+        self.sim.call_in(delay, lambda: handler(payload))
+        return True
+
+    def ping(
+        self,
+        latency: LatencyModel,
+        handler: Callable[[float], None],
+    ) -> bool:
+        """Round-trip probe: ``handler(rtt)`` runs after a full RTT.
+
+        Used by the coordinator for its ``T_coord_i`` measurement and
+        for the liveness check (clients must respond within 1 s to be
+        counted toward the 50-client minimum).  Either direction may
+        drop the datagram.
+        """
+        self.sent += 1
+        if self.loss_prob and self._rng.random() < self.loss_prob:
+            self.lost += 1
+            return False
+        rtt = latency.sample_rtt()
+        self.sim.call_in(rtt, lambda: handler(rtt))
+        return True
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed fraction of datagrams dropped so far."""
+        return self.lost / self.sent if self.sent else 0.0

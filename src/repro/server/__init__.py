@@ -1,0 +1,54 @@
+"""Web-server substrate.
+
+A queueing-network model of a 2007-era web-server deployment with
+every sub-system the MFC paper's stages probe represented as a
+first-class simulated resource:
+
+- **network access link** — probed by the Large Object stage;
+- **HTTP request handling** (listen queue + worker pool + CPU) —
+  probed by the Base stage;
+- **back-end data processing** (database connections, query cache,
+  FastCGI/Mongrel dynamic backends, memory/swap) — probed by the
+  Small Query stage;
+- **storage** (disk with seek + streaming bandwidth, object cache).
+
+An ``atop``-like :class:`~repro.server.monitor.ResourceMonitor`
+samples utilizations so the lab-validation benches can reproduce the
+paper's Figure 5/6 resource panels, and an access log records per-
+request arrival timestamps for the synchronization analyses (Figure 3,
+Table 2).
+"""
+
+from repro.server.http import HTTPRequest, HTTPResponse, Method, Status
+from repro.server.resources import ServerResources, ServerSpec
+from repro.server.cache import LRUCache
+from repro.server.database import Database, DatabaseSpec
+from repro.server.backends import BackendSpec, FastCGIBackend, MongrelBackend, make_backend
+from repro.server.webserver import SimWebServer
+from repro.server.synthetic import ResponseTimeModel, SyntheticServer
+from repro.server.cluster import LoadBalancedCluster
+from repro.server.monitor import ResourceMonitor
+from repro.server.accesslog import AccessLog, LogRecord
+
+__all__ = [
+    "AccessLog",
+    "BackendSpec",
+    "Database",
+    "DatabaseSpec",
+    "FastCGIBackend",
+    "HTTPRequest",
+    "HTTPResponse",
+    "LoadBalancedCluster",
+    "LogRecord",
+    "LRUCache",
+    "Method",
+    "MongrelBackend",
+    "ResourceMonitor",
+    "ResponseTimeModel",
+    "ServerResources",
+    "ServerSpec",
+    "SimWebServer",
+    "Status",
+    "SyntheticServer",
+    "make_backend",
+]

@@ -1,0 +1,100 @@
+"""Byte-budgeted LRU cache.
+
+Used twice in the substrate: as the web server's static-object cache
+(why the Large Object stage, which requests *the same* object from all
+clients, does not exercise the storage sub-system — paper §2.2.2) and
+as the database's query cache (the MySQL ``query_cache_size=16MB`` of
+the lab validation, §3.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class LRUCache:
+    """LRU over (key → size_bytes) entries with a byte budget.
+
+    A zero-byte budget disables the cache entirely (every lookup
+    misses), which models the Univ-3 legacy infrastructure that "was
+    not caching responses appropriately" (§4.2).
+    """
+
+    def __init__(self, capacity_bytes: float, name: str = "cache") -> None:
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity cannot be negative")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._entries: "OrderedDict[str, float]" = OrderedDict()
+        self._used = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes currently cached."""
+        return self._used
+
+    @property
+    def enabled(self) -> bool:
+        """False when the byte budget is zero."""
+        return self.capacity_bytes > 0
+
+    def lookup(self, key: str) -> bool:
+        """True on hit (and refreshes recency)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, key: str, size_bytes: float) -> bool:
+        """Cache *key*; evicts LRU entries to fit.
+
+        Objects larger than the whole budget are not cached (returns
+        False), matching real cache behaviour for huge downloads.
+        """
+        if size_bytes < 0:
+            raise ValueError("negative entry size")
+        if not self.enabled or size_bytes > self.capacity_bytes:
+            return False
+        if key in self._entries:
+            self._used -= self._entries.pop(key)
+        while self._used + size_bytes > self.capacity_bytes and self._entries:
+            _, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self.evictions += 1
+        self._entries[key] = size_bytes
+        self._used += size_bytes
+        return True
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True if it was present."""
+        size = self._entries.pop(key, None)
+        if size is None:
+            return False
+        self._used -= size
+        return True
+
+    def clear(self) -> None:
+        """Drop everything (counters survive)."""
+        self._entries.clear()
+        self._used = 0.0
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Tuple[int, int, int]:
+        """``(hits, misses, evictions)``."""
+        return (self.hits, self.misses, self.evictions)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

@@ -1,0 +1,73 @@
+"""HTTP request/response types used across the substrate."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_request_ids = itertools.count(1)
+
+#: nominal size of a headers-only response (HEAD or error)
+HEADER_BYTES = 250.0
+
+
+class Method(enum.Enum):
+    """The two HTTP methods the MFC stages use."""
+
+    GET = "GET"
+    HEAD = "HEAD"
+
+
+class Status(enum.IntEnum):
+    """Status codes the substrate can produce."""
+
+    OK = 200
+    NOT_FOUND = 404
+    SERVICE_UNAVAILABLE = 503
+    #: client-side sentinel: the 10 s timeout killed the request
+    CLIENT_TIMEOUT = 598
+
+
+@dataclass
+class HTTPRequest:
+    """A request as it leaves a client."""
+
+    method: Method
+    path: str
+    client_id: str
+    #: True for requests issued by the MFC itself (vs background traffic);
+    #: lets the access-log analyses separate the two populations, as the
+    #: cooperating-site operators did with their server logs.
+    is_mfc: bool = False
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"request path must start with '/': {self.path!r}")
+
+
+@dataclass
+class HTTPResponse:
+    """A completed (or failed) request as observed by the client."""
+
+    request: HTTPRequest
+    status: Status
+    bytes_transferred: float
+    #: when the first byte of the request reached the server
+    arrived_at: Optional[float] = None
+    #: when the client finished receiving the response
+    completed_at: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        """True for a fully received 2xx response."""
+        return self.status is Status.OK
+
+    @property
+    def server_side_duration(self) -> float:
+        """Seconds from server arrival to client completion."""
+        if self.arrived_at is None or self.completed_at is None:
+            raise ValueError("response is missing timing information")
+        return self.completed_at - self.arrived_at

@@ -1,0 +1,113 @@
+"""``atop``-style server resource monitor.
+
+The paper's lab validation (§3.2) ran ``atop`` on the target "to
+monitor the CPU, resident memory, disk access, and network usage" and
+correlates those series with client-observed response time — that
+correlation is the evidence for which sub-system is constrained.
+:class:`ResourceMonitor` samples the simulated equivalents on a fixed
+interval into :class:`~repro.sim.trace.TraceLog` probes:
+
+=================  =============================================
+probe              meaning
+=================  =============================================
+``cpu_util``       fraction of CPU capacity busy over the window
+``memory_bytes``   resident memory level at sample time
+``disk_util``      fraction of the window the disk was busy
+``network_Bps``    bytes/second through the access link (window)
+``pending``        requests inside the server pipeline
+=================  =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.server.webserver import SimWebServer
+from repro.sim.kernel import Simulator
+from repro.sim.process import Interrupt, Process
+from repro.sim.trace import TraceLog
+
+
+class ResourceMonitor:
+    """Periodic sampler over one :class:`SimWebServer`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: SimWebServer,
+        interval_s: float = 1.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.server = server
+        self.interval_s = interval_s
+        self.trace = TraceLog(sim)
+        self._proc: Optional[Process] = None
+        self._last_cpu_busy = 0.0
+        self._last_disk_busy = 0.0
+        self._last_net_bytes = 0.0
+
+    # -- control -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._proc is not None and self._proc.is_alive:
+            return
+        self._last_cpu_busy = self.server.resources.cpu.busy_integral()
+        self._last_disk_busy = self.server.resources.disk.busy_integral()
+        self._last_net_bytes = self.server.access_link.bytes_delivered
+        self._proc = self.sim.process(self._run())
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("monitor stopped")
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.interval_s)
+                self.sample()
+        except Interrupt:
+            return
+
+    # -- sampling ------------------------------------------------------------------
+
+    def sample(self) -> None:
+        """Take one sample now (also usable without ``start``)."""
+        res = self.server.resources
+        window = self.interval_s
+
+        cpu_busy = res.cpu.busy_integral()
+        self.trace.record(
+            "cpu_util", (cpu_busy - self._last_cpu_busy) / (window * res.cpu.capacity)
+        )
+        self._last_cpu_busy = cpu_busy
+
+        disk_busy = res.disk.busy_integral()
+        self.trace.record("disk_util", (disk_busy - self._last_disk_busy) / window)
+        self._last_disk_busy = disk_busy
+
+        net_bytes = self.server.access_link.bytes_delivered
+        self.trace.record("network_Bps", (net_bytes - self._last_net_bytes) / window)
+        self._last_net_bytes = net_bytes
+
+        self.trace.record("memory_bytes", res.memory.level)
+        self.trace.record("pending", self.server.pending_requests)
+
+    # -- summaries -----------------------------------------------------------------
+
+    def peak(self, probe: str) -> float:
+        """Maximum sampled value of *probe* (0 when unsampled)."""
+        values = self.trace.probe(probe).values()
+        return max(values) if values else 0.0
+
+    def mean(self, probe: str) -> float:
+        """Mean sampled value of *probe* (0 when unsampled)."""
+        values = self.trace.probe(probe).values()
+        return sum(values) / len(values) if values else 0.0
+
+    def series(self, probe: str) -> List[Tuple[float, float]]:
+        """``(time, value)`` samples for *probe*."""
+        return self.trace.probe(probe).series()

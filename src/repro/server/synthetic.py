@@ -1,0 +1,143 @@
+"""Synthetic-response-time validation server (paper §3.1).
+
+The paper validates MFC's tracking ability against "a simple server
+(with no real content and background traffic)" instrumented with
+"synthetic response time models": each model defines the average
+increase in response time per incoming request as a function of the
+number of simultaneous requests at the server, strictly non-decreasing
+in the pending queue size.  :class:`SyntheticServer` is that server;
+Figure 4's linear and exponential curves come from the two stock
+models below.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator, Optional
+
+from repro.net.link import Link, Network
+from repro.net.tcp import TcpModel
+from repro.net.topology import ClientNode
+from repro.server.accesslog import AccessLog
+from repro.server.http import HEADER_BYTES, HTTPRequest, HTTPResponse, Status
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+#: maps the number of simultaneous pending requests → added seconds
+ResponseTimeModel = Callable[[int], float]
+
+
+def linear_model(seconds_per_request: float) -> ResponseTimeModel:
+    """Paper Figure 4(a): increase grows linearly with crowd size."""
+    if seconds_per_request < 0:
+        raise ValueError("slope cannot be negative")
+    return lambda pending: seconds_per_request * max(pending - 1, 0)
+
+
+def exponential_model(scale_s: float, rate: float) -> ResponseTimeModel:
+    """Paper Figure 4(b): increase grows exponentially with crowd size.
+
+    ``added = scale_s * (e^(rate * (pending-1)) - 1)`` — zero for a
+    lone request, like the linear model.
+    """
+    if scale_s < 0 or rate < 0:
+        raise ValueError("scale and rate cannot be negative")
+    return lambda pending: scale_s * (math.exp(rate * max(pending - 1, 0)) - 1.0)
+
+
+def step_model(threshold: int, low_s: float, high_s: float) -> ResponseTimeModel:
+    """A buffer-exhaustion cliff: low below *threshold*, high at/above.
+
+    Models the §3.3 observation that memory-buffer limits produce "a
+    sharp degradation in response time only when they are exhausted".
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be >= 1")
+    return lambda pending: high_s if pending >= threshold else low_s
+
+
+class SyntheticServer:
+    """Content-free server applying a response-time model.
+
+    Implements the same ``submit`` interface as
+    :class:`~repro.server.webserver.SimWebServer`, so the unchanged MFC
+    coordinator drives it directly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: ResponseTimeModel,
+        network: Network,
+        access_link: Link,
+        base_service_s: float = 0.002,
+        response_bytes: float = HEADER_BYTES,
+        tcp: Optional[TcpModel] = None,
+    ) -> None:
+        if base_service_s < 0:
+            raise ValueError("base service time cannot be negative")
+        self.sim = sim
+        self.model = model
+        self.network = network
+        self.access_link = access_link
+        self.base_service_s = base_service_s
+        self.response_bytes = response_bytes
+        self.tcp = tcp if tcp is not None else TcpModel()
+        self.access_log = AccessLog()
+        self.pending_requests = 0
+        # one mutable cell per in-flight request holding the peak
+        # concurrency it has observed
+        self._peak_boxes: list = []
+
+    def _bump_peaks(self) -> None:
+        level = self.pending_requests
+        for box in self._peak_boxes:
+            if box[0] < level:
+                box[0] = level
+
+    def submit(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Process:
+        """Serve *request*; see :meth:`SimWebServer.submit` for timing."""
+        return self.sim.process(self._handle(request, client, rtt))
+
+    def _handle(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Generator:
+        arrival = self.sim.now
+        self.pending_requests += 1
+        # paper semantics: when n requests are simultaneous, EACH pays
+        # f(n).  Synchronized arrivals are a few ms apart, so a request
+        # must keep observing the concurrency while it waits: we track
+        # the peak and extend the wait until elapsed >= f(peak).  The
+        # model is non-decreasing, so this loop converges.
+        self._bump_peaks()
+        peak_box = [self.pending_requests]
+        self._peak_boxes.append(peak_box)
+        try:
+            while True:
+                target = self.base_service_s + self.model(peak_box[0])
+                if target < 0:
+                    raise ValueError("response-time model produced a negative delay")
+                remaining = target - (self.sim.now - arrival)
+                if remaining <= 1e-12:
+                    break
+                yield self.sim.timeout(remaining)
+            path = client.download_path(self.access_link)
+            yield from self.tcp.download(
+                self.sim, self.network, path, self.response_bytes, rtt
+            )
+        finally:
+            self.pending_requests -= 1
+            self._peak_boxes.remove(peak_box)
+        completed = self.sim.now
+        self.access_log.log(
+            request,
+            arrival_time=arrival,
+            status=Status.OK,
+            bytes_sent=self.response_bytes,
+            completion_time=completed,
+        )
+        return HTTPResponse(
+            request=request,
+            status=Status.OK,
+            bytes_transferred=self.response_bytes,
+            arrived_at=arrival,
+            completed_at=completed,
+        )

@@ -1,0 +1,198 @@
+"""The simulated web server: full per-request pipeline.
+
+Request lifecycle (mirrors a 2007 Apache worker-MPM deployment):
+
+1. **Admission** — if the listen backlog is full the connection is
+   refused (a fast 503).
+2. **Worker** — the connection waits for a worker thread; the thread
+   is held until the *last byte of the response is sent*, which is why
+   a saturated access link can exhaust workers and make *every* stage
+   stop at the same crowd size (the paper's Univ-2 signature).
+3. **Parse** — per-request HTTP processing on the CPU.
+4. **Content work** — per request class:
+   HEAD → CPU only; static GET → object cache, else disk; query →
+   dynamic backend (FastCGI/Mongrel) + database.
+5. **Send** — the response crosses the server access link, any shared
+   mid-path bottleneck and the client access link through the fluid
+   network, with TCP slow-start timing.
+
+Every request is recorded in the access log with its server-side
+arrival timestamp, which is what the synchronization analyses read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.content.objects import WebObject
+from repro.content.site import SiteContent
+from repro.net.link import Link, Network
+from repro.net.tcp import TcpModel
+from repro.net.topology import ClientNode
+from repro.server.accesslog import AccessLog
+from repro.server.backends import make_backend
+from repro.server.cache import LRUCache
+from repro.server.database import Database
+from repro.server.http import HEADER_BYTES, HTTPRequest, HTTPResponse, Method, Status
+from repro.server.resources import ServerResources, ServerSpec
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+
+
+class SimWebServer:
+    """One server box serving one site over one access link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ServerSpec,
+        site: SiteContent,
+        network: Network,
+        access_link: Link,
+        tcp: Optional[TcpModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.site = site
+        self.network = network
+        self.access_link = access_link
+        self.tcp = tcp if tcp is not None else TcpModel()
+        self.resources = ServerResources(sim, spec)
+        self.database = Database(sim, spec.db, name=f"{spec.name}.db")
+        self.backend = make_backend(sim, spec.backend, self.resources, self.database)
+        self.object_cache = LRUCache(spec.object_cache_bytes, name=f"{spec.name}.ocache")
+        self.response_cache = LRUCache(
+            spec.response_cache_bytes, name=f"{spec.name}.rcache"
+        )
+        self.access_log = AccessLog()
+        #: requests currently inside the pipeline (incl. queued)
+        self.pending_requests = 0
+        self.refused_requests = 0
+        # The thrash software artifact (the paper's Univ-2 signature):
+        # triggered by the connection-arrival burst (connections opened
+        # within the last second) — that is what a synchronized crowd
+        # of N produces regardless of how fast requests drain.  While
+        # thrashing, EVERY response pays a uniform completion penalty
+        # (buffer exhaustion → packet loss → recovery stalls hit all
+        # connections alike), which is what lets even the Large Object
+        # stage's 90th-percentile rule observe it.  Thrash is sticky
+        # until the burst rate falls to a quarter of the threshold.
+        self._thrashing = False
+        self._recent_arrivals: deque = deque()
+
+    # -- public interface ---------------------------------------------------------
+
+    def submit(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Process:
+        """Serve *request* for *client*; the process yields the response.
+
+        Call this at the instant the request's first byte reaches the
+        server (the caller models handshake propagation).  The process
+        completes when the client has received the last response byte.
+        """
+        # counted at submit time so load-balancer policies see it
+        self.pending_requests += 1
+        return self.sim.process(self._handle(request, client, rtt))
+
+    # -- pipeline -------------------------------------------------------------------
+
+    def _handle(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Generator:
+        arrival = self.sim.now
+        try:
+            threshold = self.spec.accept_thrash_threshold
+            if threshold is not None:
+                self._recent_arrivals.append(arrival)
+                while self._recent_arrivals and self._recent_arrivals[0] < arrival - 1.0:
+                    self._recent_arrivals.popleft()
+                burst = len(self._recent_arrivals)
+                if burst > threshold:
+                    self._thrashing = True
+                elif burst <= max(threshold // 4, 1):
+                    self._thrashing = False
+
+            if self.resources.workers.queue_len >= self.spec.listen_backlog:
+                self.refused_requests += 1
+                yield from self._send(client, HEADER_BYTES, rtt)
+                return self._finish(
+                    request, arrival, Status.SERVICE_UNAVAILABLE, HEADER_BYTES
+                )
+
+            worker = self.resources.workers.request()
+            yield worker
+            got_memory = self.resources.allocate_memory(
+                self.spec.per_request_memory_bytes
+            )
+            try:
+                yield from self.resources.consume_cpu(self.spec.request_parse_cpu_s)
+
+                obj = self.site.lookup(request.path)
+                if obj is None:
+                    yield from self._send(client, HEADER_BYTES, rtt)
+                    return self._finish(
+                        request, arrival, Status.NOT_FOUND, HEADER_BYTES
+                    )
+
+                if request.method is Method.HEAD:
+                    response_bytes = HEADER_BYTES
+                    yield from self.resources.consume_cpu(self.spec.head_cpu_s)
+                elif obj.dynamic:
+                    response_bytes = obj.size_bytes
+                    if not (
+                        obj.cacheable and self.response_cache.lookup(obj.path)
+                    ):
+                        yield from self.backend.handle(obj)
+                        if obj.cacheable:
+                            self.response_cache.insert(obj.path, obj.size_bytes)
+                else:
+                    response_bytes = obj.size_bytes
+                    yield from self._fetch_static(obj)
+
+                yield from self._send(client, response_bytes, rtt)
+                return self._finish(request, arrival, Status.OK, response_bytes)
+            finally:
+                if got_memory:
+                    self.resources.free_memory(self.spec.per_request_memory_bytes)
+                self.resources.workers.release(worker)
+        finally:
+            self.pending_requests -= 1
+
+    def _fetch_static(self, obj: WebObject) -> Generator:
+        """Object cache, then disk; plus per-byte send CPU."""
+        if not self.object_cache.lookup(obj.path):
+            yield from self.resources.read_disk(obj.size_bytes)
+            if obj.cacheable:
+                self.object_cache.insert(obj.path, obj.size_bytes)
+        send_cpu = self.spec.static_send_cpu_s_per_100kb * (obj.size_bytes / 102_400.0)
+        yield from self.resources.consume_cpu(send_cpu)
+
+    def _send(self, client: ClientNode, size_bytes: float, rtt: float) -> Generator:
+        """Deliver *size_bytes* to the client through the fluid network."""
+        path = client.download_path(self.access_link)
+        yield from self.tcp.download(self.sim, self.network, path, size_bytes, rtt)
+        if self.spec.accept_thrash_threshold is not None and self._thrashing:
+            # uniform loss-recovery stall while the box thrashes
+            yield self.sim.timeout(self.spec.accept_thrash_s)
+
+    def _finish(
+        self,
+        request: HTTPRequest,
+        arrival: float,
+        status: Status,
+        bytes_sent: float,
+    ) -> HTTPResponse:
+        completed = self.sim.now
+        self.access_log.log(
+            request,
+            arrival_time=arrival,
+            status=status,
+            bytes_sent=bytes_sent,
+            completion_time=completed,
+        )
+        return HTTPResponse(
+            request=request,
+            status=status,
+            bytes_transferred=bytes_sent,
+            arrived_at=arrival,
+            completed_at=completed,
+        )

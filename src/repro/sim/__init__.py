@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free engine in the style of SimPy: simulation
+processes are Python generators that ``yield`` events (timeouts, other
+processes, resource requests) and are resumed by the kernel when those
+events fire.  All MFC experiments run in simulated time on top of this
+kernel — the library performs no real network or file I/O.
+
+Public surface::
+
+    sim = Simulator()
+    proc = sim.process(my_generator(sim))
+    sim.run(until=100.0)
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RNGRegistry
+from repro.sim.trace import Probe, TraceLog
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Probe",
+    "Process",
+    "Resource",
+    "RNGRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceLog",
+]

@@ -1,0 +1,132 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the simulated clock and the pending-event heap.
+Events are scheduled with :meth:`Simulator.schedule` and fire in
+timestamp order; ties break FIFO by insertion order so the simulation
+is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. re-triggering a fired event)."""
+
+
+class Simulator:
+    """Event loop with a simulated clock.
+
+    The clock unit is *seconds* throughout the library.  The simulator
+    is single-threaded and deterministic: two events scheduled for the
+    same instant fire in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list = []
+        self._eid = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: "Event", delay: float = 0.0) -> None:
+        """Arrange for *event* to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._eid), event))
+
+    def call_at(self, when: float, fn: Callable[[], Any]) -> "Event":
+        """Run ``fn()`` at absolute simulated time *when* (>= now)."""
+        from repro.sim.events import Event
+
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})"
+            )
+        ev = Event(self)
+        ev.subscribe(lambda _ev: fn())
+        self.schedule(ev, when - self._now)
+        ev._mark_triggered(value=None)
+        return ev
+
+    def call_in(self, delay: float, fn: Callable[[], Any]) -> "Event":
+        """Run ``fn()`` after *delay* seconds of simulated time."""
+        return self.call_at(self._now + delay, fn)
+
+    # -- factories ------------------------------------------------------
+
+    def event(self) -> "Event":
+        """Create an untriggered :class:`Event` bound to this simulator."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout":
+        """Create a :class:`Timeout` that fires after *delay* seconds."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a simulation process from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- execution ------------------------------------------------------
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one pending event."""
+        when, _eid, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches *until*.
+
+        If *until* is given the clock is advanced exactly to *until*
+        even when the last event fires earlier, mirroring SimPy.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                self.step()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_complete(self, process: "Process", limit: float = 1e9) -> Any:
+        """Run until *process* finishes; return its value (raise its error).
+
+        *limit* bounds runaway simulations; exceeding it raises
+        :class:`SimulationError`.
+        """
+        while not process.processed:
+            if not self._heap:
+                raise SimulationError("deadlock: process pending but no events")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"simulation exceeded time limit {limit}")
+            self.step()
+        if not process.ok:
+            raise process.exception  # type: ignore[misc]
+        return process.value

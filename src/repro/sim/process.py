@@ -1,0 +1,111 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  Each ``yield`` hands the kernel an
+:class:`~repro.sim.events.Event`; the process sleeps until that event
+fires, then resumes with the event's value (or has the event's
+exception thrown into it).  A :class:`Process` is itself an event that
+fires when the generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process (also an awaitable event)."""
+
+    def __init__(self, sim: Simulator, generator: Generator) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self._gen = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the generator via an immediate event.
+        start = Event(sim)
+        start.subscribe(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        No-op if the process already finished.  The event the process
+        was waiting on stays subscribed-to by nobody (we unsubscribe),
+        so a later firing of that event is ignored by this process.
+        """
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None:
+            target.unsubscribe(self._resume)
+            self._waiting_on = None
+        relay = Event(self.sim)
+        relay.subscribe(lambda _ev: self._throw_in(Interrupt(cause)))
+        relay.succeed()
+
+    # -- internals ---------------------------------------------------------
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self._finish_failed(err)
+            return
+        self._wait_on(target)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._gen.send(event.value)
+            else:
+                event._defused = True
+                target = self._gen.throw(event.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self._finish_failed(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process yielded a non-event: {target!r}"
+            )
+            self._gen.close()
+            self._finish_failed(err)
+            return
+        if target is self:
+            self._gen.close()
+            self._finish_failed(SimulationError("process waited on itself"))
+            return
+        self._waiting_on = target
+        target.subscribe(self._resume)
+
+    def _finish_failed(self, err: BaseException) -> None:
+        self.fail(err)

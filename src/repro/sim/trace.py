@@ -1,0 +1,84 @@
+"""Lightweight simulation tracing.
+
+A :class:`TraceLog` collects timestamped samples from named
+:class:`Probe` channels.  The server monitor and the benchmarks use it
+to reconstruct the paper's time-series plots (e.g. network KB/s and
+memory usage versus crowd size in Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One timestamped observation on a probe channel."""
+
+    time: float
+    value: Any
+
+
+class Probe:
+    """A single named channel of samples."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.samples: List[Sample] = []
+
+    def record(self, value: Any) -> None:
+        """Append a sample stamped with the current simulated time."""
+        self.samples.append(Sample(self.sim.now, value))
+
+    def values(self) -> List[Any]:
+        """All recorded values, in time order."""
+        return [s.value for s in self.samples]
+
+    def series(self) -> List[Tuple[float, Any]]:
+        """``(time, value)`` pairs, in time order."""
+        return [(s.time, s.value) for s in self.samples]
+
+    def window(self, start: float, end: float) -> List[Sample]:
+        """Samples with ``start <= time < end``."""
+        return [s for s in self.samples if start <= s.time < end]
+
+    def last(self, default: Any = None) -> Any:
+        """Most recent value, or *default* when empty."""
+        return self.samples[-1].value if self.samples else default
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class TraceLog:
+    """Registry of probes keyed by name."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._probes: Dict[str, Probe] = {}
+
+    def probe(self, name: str) -> Probe:
+        """Return the probe for *name*, creating it on first use."""
+        probe = self._probes.get(name)
+        if probe is None:
+            probe = Probe(self.sim, name)
+            self._probes[name] = probe
+        return probe
+
+    def record(self, name: str, value: Any) -> None:
+        """Shorthand for ``trace.probe(name).record(value)``."""
+        self.probe(name).record(value)
+
+    def names(self) -> List[str]:
+        """Sorted names of all probes."""
+        return sorted(self._probes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probes
+
+    def __iter__(self) -> Iterator[Probe]:
+        return iter(self._probes.values())

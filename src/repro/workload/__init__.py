@@ -1,0 +1,33 @@
+"""Workload substrate: client fleets, background traffic, populations.
+
+- :mod:`repro.workload.fleet` — PlanetLab-like wide-area client fleets
+  (the paper used up to 85 PlanetLab nodes as MFC clients);
+- :mod:`repro.workload.background` — open-loop Poisson background
+  request traffic (the "other traffic" columns of Tables 3a/3b);
+- :mod:`repro.workload.populations` — rank-stratified synthetic server
+  populations standing in for the Quantcast-ranked, startup and
+  phishing site lists of §5.
+"""
+
+from repro.workload.fleet import FleetSpec, build_fleet
+from repro.workload.background import BackgroundTraffic
+from repro.workload.populations import (
+    PopulationSite,
+    RankStratumSpec,
+    generate_population,
+    phishing_population,
+    quantcast_strata,
+    startup_population,
+)
+
+__all__ = [
+    "BackgroundTraffic",
+    "FleetSpec",
+    "PopulationSite",
+    "RankStratumSpec",
+    "build_fleet",
+    "generate_population",
+    "phishing_population",
+    "quantcast_strata",
+    "startup_population",
+]

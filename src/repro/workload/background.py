@@ -1,0 +1,110 @@
+"""Open-loop background request traffic.
+
+The cooperating-site experiments measure how MFC inferences shift with
+background load: Univ-3's Base stage stopped at 90 under 20 req/s
+morning traffic but NoStopped late evening at 12.5 req/s (§4.2).
+:class:`BackgroundTraffic` is a Poisson request generator issuing a
+configurable mix of HEAD / static / query requests from its own pool
+of client nodes, marked ``is_mfc=False`` so the access-log analyses
+can separate the populations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+from repro.content.site import SiteContent
+from repro.net.topology import ClientNode
+from repro.server.http import HTTPRequest, Method
+from repro.sim.kernel import Simulator
+from repro.sim.process import Interrupt, Process
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Probabilities of each background request kind (must sum to 1)."""
+
+    head: float = 0.1
+    static: float = 0.7
+    query: float = 0.2
+
+    def validate(self) -> None:
+        """Check the probabilities form a distribution."""
+        total = self.head + self.static + self.query
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"request mix must sum to 1, got {total}")
+        if min(self.head, self.static, self.query) < 0:
+            raise ValueError("request mix probabilities cannot be negative")
+
+
+class BackgroundTraffic:
+    """Poisson background load against one web service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service,
+        site: SiteContent,
+        clients: Sequence[ClientNode],
+        rate_rps: float,
+        rng: Optional[random.Random] = None,
+        mix: Optional[RequestMix] = None,
+    ) -> None:
+        if rate_rps < 0:
+            raise ValueError("rate cannot be negative")
+        if rate_rps > 0 and not clients:
+            raise ValueError("background traffic needs client nodes")
+        self.sim = sim
+        self.service = service
+        self.site = site
+        self.clients = list(clients)
+        self.rate_rps = rate_rps
+        self.mix = mix if mix is not None else RequestMix()
+        self.mix.validate()
+        self._rng = rng if rng is not None else random.Random(0)
+        self._proc: Optional[Process] = None
+        self.requests_issued = 0
+        self._static_paths = [
+            o.path for o in site.objects() if not o.dynamic
+        ]
+        self._query_paths = [o.path for o in site.objects() if o.dynamic]
+
+    # -- control -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin generating (no-op at rate 0)."""
+        if self.rate_rps == 0 or (self._proc is not None and self._proc.is_alive):
+            return
+        self._proc = self.sim.process(self._run())
+
+    def stop(self) -> None:
+        """Stop generating."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("background stopped")
+
+    # -- generation ---------------------------------------------------------------
+
+    def _pick_request(self, client: ClientNode) -> HTTPRequest:
+        roll = self._rng.random()
+        if roll < self.mix.head or not self._static_paths:
+            return HTTPRequest(Method.HEAD, self.site.base_page, client.client_id)
+        if roll < self.mix.head + self.mix.query and self._query_paths:
+            path = self._rng.choice(self._query_paths)
+            return HTTPRequest(Method.GET, path, client.client_id)
+        path = self._rng.choice(self._static_paths)
+        return HTTPRequest(Method.GET, path, client.client_id)
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self._rng.expovariate(self.rate_rps))
+                client = self._rng.choice(self.clients)
+                request = self._pick_request(client)
+                rtt = client.latency_to_target.sample_rtt()
+                # open loop: fire and forget, like real visitors
+                self.service.submit(request, client, rtt)
+                self.requests_issued += 1
+        except Interrupt:
+            return

@@ -1,0 +1,212 @@
+"""Tests for stats, tables, figures and the study driver."""
+
+import pytest
+
+from repro.analysis import (
+    SiteMeasurement,
+    StudyResult,
+    TextTable,
+    ascii_series,
+    bar_chart,
+    bootstrap_ci,
+    bucket_label,
+    mean,
+    run_stage_study,
+    stacked_breakdown,
+    stdev,
+)
+from repro.analysis.study import bucket_labels
+from repro.core.config import MFCConfig
+from repro.core.records import StageOutcome
+from repro.core.stages import StageKind
+from repro.workload import generate_population
+from repro.workload.populations import RankStratumSpec
+from repro.workload.fleet import FleetSpec
+
+
+# -- stats -----------------------------------------------------------------------
+
+
+def test_mean_and_stdev():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert stdev([2.0, 2.0, 2.0]) == 0.0
+    assert stdev([1.0, 3.0]) == pytest.approx(1.4142, abs=1e-3)
+    assert stdev([5.0]) == 0.0
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_bootstrap_ci_contains_true_median():
+    values = [float(i) for i in range(100)]
+    lo, hi = bootstrap_ci(values, n_resamples=300)
+    assert lo <= 49.5 <= hi
+    assert lo < hi
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], confidence=2.0)
+
+
+# -- tables ----------------------------------------------------------------------
+
+
+def test_table_renders_aligned():
+    table = TextTable(["Stage", "Crowd"], title="Results")
+    table.add_row("Base", 25)
+    table.add_row("LargeObject", "NoStop (55)")
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Results"
+    assert "Stage" in lines[1] and "Crowd" in lines[1]
+    assert "NoStop (55)" in text
+
+
+def test_table_row_width_mismatch():
+    table = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only-one")
+
+
+def test_table_needs_columns():
+    with pytest.raises(ValueError):
+        TextTable([])
+
+
+# -- figures ---------------------------------------------------------------------
+
+
+def test_ascii_series_contains_markers_and_legend():
+    chart = ascii_series(
+        {"ideal": [(0, 0), (10, 10)], "measured": [(0, 1), (10, 9)]},
+        title="tracking",
+    )
+    assert "tracking" in chart
+    assert "*=ideal" in chart and "o=measured" in chart
+
+
+def test_ascii_series_flat_line_no_crash():
+    chart = ascii_series({"flat": [(0, 5.0), (1, 5.0)]})
+    assert "flat" in chart
+
+
+def test_ascii_series_empty_raises():
+    with pytest.raises(ValueError):
+        ascii_series({})
+
+
+def test_bar_chart():
+    chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_stacked_breakdown_renders_rows():
+    chart = stacked_breakdown(
+        {"1-1K": {"0-20": 0.1, "No-Stop": 0.9}},
+        order=["0-20", "No-Stop"],
+        width=20,
+    )
+    assert "1-1K" in chart
+    assert "legend" in chart
+
+
+def test_figures_validation():
+    with pytest.raises(ValueError):
+        bar_chart({})
+    with pytest.raises(ValueError):
+        stacked_breakdown({}, order=[])
+
+
+# -- study buckets ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "size,expected",
+    [(5, "0-20"), (20, "0-20"), (21, "20-30"), (45, "40-50"), (50, "40-50"),
+     (55, ">50"), (None, "No-Stop")],
+)
+def test_bucket_label(size, expected):
+    assert bucket_label(size) == expected
+
+
+def test_bucket_labels_order():
+    assert bucket_labels() == ["0-20", "20-30", "30-40", "40-50", "No-Stop"]
+
+
+def make_measurement(site, stratum, outcome, size=None):
+    return SiteMeasurement(
+        site_id=site, stratum=stratum, outcome=outcome, stopping_size=size
+    )
+
+
+def test_study_breakdown_fractions():
+    result = StudyResult(stage=StageKind.BASE)
+    result.measurements = [
+        make_measurement("a", "s1", StageOutcome.STOPPED, 15),
+        make_measurement("b", "s1", StageOutcome.STOPPED, 45),
+        make_measurement("c", "s1", StageOutcome.NO_STOP),
+        make_measurement("d", "s1", StageOutcome.SKIPPED),
+    ]
+    fractions = result.breakdown("s1")
+    assert fractions["0-20"] == pytest.approx(1 / 3)
+    assert fractions["40-50"] == pytest.approx(1 / 3)
+    assert fractions["No-Stop"] == pytest.approx(1 / 3)
+    assert result.measured_count("s1") == 3
+    assert result.degraded_fraction("s1") == pytest.approx(2 / 3)
+    assert result.fraction_stopping_at_or_below(20, "s1") == pytest.approx(1 / 3)
+
+
+def test_study_strata_ordering():
+    result = StudyResult(stage=StageKind.BASE)
+    result.measurements = [
+        make_measurement("a", "x", StageOutcome.NO_STOP),
+        make_measurement("b", "y", StageOutcome.NO_STOP),
+        make_measurement("c", "x", StageOutcome.NO_STOP),
+    ]
+    assert result.strata() == ["x", "y"]
+
+
+def test_study_empty_breakdown():
+    result = StudyResult(stage=StageKind.BASE)
+    assert result.breakdown() == {}
+    assert result.degraded_fraction() == 0.0
+
+
+# -- end-to-end mini study ----------------------------------------------------------
+
+
+def test_run_stage_study_two_extreme_sites():
+    """A fast stratum NoStops; a pathologically slow one stops early."""
+    strata = [
+        RankStratumSpec(
+            name="fast",
+            n_sites=1,
+            head_cpu_median_s=0.0002,
+            head_cpu_sigma=0.01,
+        ),
+        RankStratumSpec(
+            name="slow",
+            n_sites=1,
+            head_cpu_median_s=0.030,
+            head_cpu_sigma=0.01,
+        ),
+    ]
+    sites = generate_population(strata, seed=1)
+    result = run_stage_study(
+        sites,
+        StageKind.BASE,
+        config=MFCConfig(min_clients=50, max_crowd=50),
+        fleet_spec=FleetSpec(n_clients=60, unresponsive_fraction=0.0),
+        seed=1,
+    )
+    by_stratum = {m.stratum: m for m in result.measurements}
+    assert by_stratum["fast"].outcome is StageOutcome.NO_STOP
+    assert by_stratum["slow"].outcome is StageOutcome.STOPPED
+    assert by_stratum["slow"].stopping_size <= 20

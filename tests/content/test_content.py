@@ -1,0 +1,235 @@
+"""Tests for web objects, site generation, crawler and classifier."""
+
+import random
+
+import pytest
+
+from repro.content import (
+    ContentType,
+    Crawler,
+    LARGE_OBJECT_MIN_BYTES,
+    SMALL_QUERY_MAX_BYTES,
+    SiteContent,
+    SiteContentBuilder,
+    WebObject,
+    classify_extension,
+    profile_content,
+)
+from repro.content.site import SiteShape, minimal_site
+
+
+# -- WebObject -----------------------------------------------------------------
+
+
+def test_object_validation_path():
+    with pytest.raises(ValueError):
+        WebObject("no-slash", ContentType.TEXT, 10)
+
+
+def test_object_validation_negative_size():
+    with pytest.raises(ValueError):
+        WebObject("/x", ContentType.TEXT, -1)
+
+
+def test_dynamic_requires_query_type():
+    with pytest.raises(ValueError):
+        WebObject("/x", ContentType.TEXT, 10, dynamic=True)
+
+
+def test_static_cannot_touch_db():
+    with pytest.raises(ValueError):
+        WebObject("/x.html", ContentType.TEXT, 10, db_rows=5)
+
+
+def test_str_rendering():
+    obj = WebObject("/a.html", ContentType.TEXT, 100)
+    assert "static" in str(obj) and "/a.html" in str(obj)
+
+
+# -- SiteContent ----------------------------------------------------------------
+
+
+def test_site_lookup_and_contains():
+    site = minimal_site()
+    assert site.lookup("/index.html") is not None
+    assert site.lookup("/missing") is None
+    assert "/big.tar.gz" in site
+    assert len(site) == 3
+
+
+def test_site_rejects_duplicates():
+    objs = [
+        WebObject("/index.html", ContentType.TEXT, 1),
+        WebObject("/index.html", ContentType.TEXT, 2),
+    ]
+    with pytest.raises(ValueError, match="duplicate"):
+        SiteContent(objs)
+
+
+def test_site_requires_base_page():
+    with pytest.raises(ValueError, match="base page"):
+        SiteContent([WebObject("/a.html", ContentType.TEXT, 1)])
+
+
+def test_total_bytes():
+    site = minimal_site(large_object_bytes=1000.0, query_response_bytes=100.0)
+    assert site.total_bytes() == pytest.approx(1000.0 + 100.0 + 4000.0)
+
+
+def test_minimal_site_unique_queries():
+    site = minimal_site(n_unique_queries=5)
+    unique = [p for p in site.paths() if "&u=" in p]
+    assert len(unique) == 5
+
+
+# -- builder ---------------------------------------------------------------------
+
+
+def test_builder_is_deterministic():
+    a = SiteContentBuilder(rng=random.Random(42)).build()
+    b = SiteContentBuilder(rng=random.Random(42)).build()
+    assert a.paths() == b.paths()
+    assert [o.size_bytes for o in a.objects()] == [o.size_bytes for o in b.objects()]
+
+
+def test_builder_respects_shape_counts():
+    shape = SiteShape(n_pages=3, n_images=4, n_binaries=2, n_queries=5)
+    site = SiteContentBuilder(shape, rng=random.Random(1)).build()
+    objs = site.objects()
+    assert sum(o.content_type is ContentType.IMAGE for o in objs) == 4
+    assert sum(o.content_type is ContentType.BINARY for o in objs) == 2
+    assert sum(o.dynamic for o in objs) == 5
+    # 3 pages + index
+    assert sum(o.content_type is ContentType.TEXT for o in objs) == 4
+
+
+def test_builder_links_resolve():
+    site = SiteContentBuilder(rng=random.Random(7)).build()
+    for obj in site.objects():
+        for link in obj.links:
+            assert link in site
+
+
+# -- crawler ---------------------------------------------------------------------
+
+
+def test_crawl_reaches_whole_generated_site():
+    site = SiteContentBuilder(rng=random.Random(3)).build()
+    result = Crawler(max_objects=10_000).crawl(site)
+    # every object is reachable from the index (index links all pages,
+    # pages link the rest); tolerate isolated objects only if unlinked
+    reachable = {o.path for o in result.discovered}
+    assert site.base_page in reachable
+    assert len(reachable) > len(site) * 0.5
+
+
+def test_crawl_budget_truncates():
+    site = SiteContentBuilder(rng=random.Random(3)).build()
+    result = Crawler(max_objects=5).crawl(site)
+    assert len(result) == 5
+    assert result.truncated
+
+
+def test_crawl_depth_zero_visits_only_start():
+    site = minimal_site()
+    result = Crawler(max_depth=0).crawl(site)
+    assert [o.path for o in result.discovered] == ["/index.html"]
+
+
+def test_crawl_records_broken_links():
+    objs = [
+        WebObject("/index.html", ContentType.TEXT, 10, links=("/ghost.html",)),
+    ]
+    site = SiteContent(objs)
+    result = Crawler().crawl(site)
+    assert result.broken_links == ["/ghost.html"]
+
+
+def test_crawl_fetch_callback_sees_every_object():
+    site = minimal_site()
+    seen = []
+    Crawler(fetch_callback=lambda o: seen.append(o.path)).crawl(site)
+    assert "/index.html" in seen and "/big.tar.gz" in seen
+
+
+def test_crawler_validation():
+    with pytest.raises(ValueError):
+        Crawler(max_objects=0)
+
+
+# -- classifier -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "path,expected",
+    [
+        ("/a.html", ContentType.TEXT),
+        ("/a.txt", ContentType.TEXT),
+        ("/pics/x.JPG", ContentType.IMAGE),
+        ("/dist/app.tar.gz", ContentType.BINARY),
+        ("/doc.pdf", ContentType.BINARY),
+        ("/cgi-bin/search?q=x", ContentType.QUERY),
+        ("/about", ContentType.TEXT),
+    ],
+)
+def test_classify_extension(path, expected):
+    assert classify_extension(path) is expected
+
+
+def test_profile_buckets_large_and_small():
+    objs = [
+        WebObject("/index.html", ContentType.TEXT, 5000),
+        WebObject("/big.iso", ContentType.BINARY, 5e6),
+        WebObject("/small.gif", ContentType.IMAGE, 2000),
+        WebObject("/q?a=1", ContentType.QUERY, 500, dynamic=True, db_rows=10),
+        WebObject("/q?a=2", ContentType.QUERY, 50_000, dynamic=True, db_rows=10),
+    ]
+    profile = profile_content(objs, base_page="/index.html")
+    assert [o.path for o in profile.large_objects] == ["/big.iso"]
+    assert [o.path for o in profile.small_queries] == ["/q?a=1"]
+    assert profile.has_large_objects and profile.has_small_queries
+
+
+def test_profile_boundary_values():
+    objs = [
+        WebObject("/index.html", ContentType.TEXT, 10),
+        WebObject("/exact.bin.zip", ContentType.BINARY, LARGE_OBJECT_MIN_BYTES),
+        WebObject("/under.zip", ContentType.BINARY, LARGE_OBJECT_MIN_BYTES - 1),
+        WebObject("/q?x=1", ContentType.QUERY, SMALL_QUERY_MAX_BYTES, dynamic=True),
+        WebObject("/q?x=2", ContentType.QUERY, SMALL_QUERY_MAX_BYTES - 1, dynamic=True),
+    ]
+    profile = profile_content(objs, base_page="/index.html")
+    # >= 100KB qualifies; < 15KB qualifies
+    assert [o.path for o in profile.large_objects] == ["/exact.bin.zip"]
+    assert [o.path for o in profile.small_queries] == ["/q?x=2"]
+
+
+def test_profile_invariants_on_generated_site():
+    site = SiteContentBuilder(rng=random.Random(11)).build()
+    profile = profile_content(site.objects(), site.base_page)
+    for obj in profile.large_objects:
+        assert not obj.dynamic
+        assert obj.size_bytes >= LARGE_OBJECT_MIN_BYTES
+    for obj in profile.small_queries:
+        assert obj.dynamic
+        assert obj.size_bytes < SMALL_QUERY_MAX_BYTES
+
+
+def test_profile_ordering():
+    objs = [
+        WebObject("/index.html", ContentType.TEXT, 10),
+        WebObject("/a.zip", ContentType.BINARY, 200_000),
+        WebObject("/b.zip", ContentType.BINARY, 900_000),
+        WebObject("/q?x=1", ContentType.QUERY, 9000, dynamic=True),
+        WebObject("/q?x=2", ContentType.QUERY, 100, dynamic=True),
+    ]
+    profile = profile_content(objs, base_page="/index.html")
+    assert [o.path for o in profile.large_objects] == ["/b.zip", "/a.zip"]
+    assert [o.path for o in profile.small_queries] == ["/q?x=2", "/q?x=1"]
+
+
+def test_profile_summary_text():
+    site = minimal_site()
+    profile = profile_content(site.objects(), site.base_page)
+    text = profile.summary()
+    assert "large_objects=1" in text and "small_queries=1" in text

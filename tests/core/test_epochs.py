@@ -1,0 +1,205 @@
+"""Tests for the epoch planner state machine and aggregates."""
+
+import pytest
+
+from repro.core.config import MFCConfig
+from repro.core.epochs import (
+    EpochPlanner,
+    degradation_aggregate,
+    median,
+    quantile,
+)
+from repro.core.records import EpochLabel, EpochResult, StageOutcome
+
+
+def make_epoch(crowd, label, degraded):
+    return EpochResult(
+        index=0,
+        label=label,
+        crowd_size=crowd,
+        clients_used=crowd,
+        target_time=0.0,
+        degraded=degraded,
+    )
+
+
+def drive(planner, degrade_at=None, degrade_checks=True):
+    """Run the planner answering each epoch; returns the epoch trail."""
+    trail = []
+    while True:
+        nxt = planner.next_epoch()
+        if nxt is None:
+            return trail
+        crowd, label = nxt
+        if label is EpochLabel.NORMAL:
+            degraded = degrade_at is not None and crowd >= degrade_at
+        else:
+            degraded = degrade_checks
+        trail.append((crowd, label, degraded))
+        planner.record(make_epoch(crowd, label, degraded))
+
+
+# -- quantiles -------------------------------------------------------------------
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+def test_quantile_bounds():
+    values = [float(i) for i in range(11)]
+    assert quantile(values, 0.0) == 0.0
+    assert quantile(values, 1.0) == 10.0
+    assert quantile(values, 0.5) == 5.0
+
+
+def test_quantile_interpolates():
+    assert quantile([0.0, 1.0], 0.25) == pytest.approx(0.25)
+
+
+def test_quantile_single_value():
+    assert quantile([7.0], 0.9) == 7.0
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        quantile([], 0.5)
+    with pytest.raises(ValueError):
+        quantile([1.0], 1.5)
+
+
+def test_degradation_aggregate_median_rule():
+    # half the clients saw 0.2s: the median rule statistic is ~0.1+
+    values = [0.0] * 5 + [0.2] * 5
+    assert degradation_aggregate(values, 0.5) == pytest.approx(0.1)
+
+
+def test_degradation_aggregate_90pct_rule():
+    # only 50% degraded: the 90% rule statistic stays low
+    values = [0.0] * 5 + [1.0] * 5
+    assert degradation_aggregate(values, 0.9) == pytest.approx(0.0, abs=0.11)
+    # 95% degraded: now it crosses
+    values = [0.0] + [1.0] * 19
+    assert degradation_aggregate(values, 0.9) == pytest.approx(1.0, abs=0.06)
+
+
+# -- planner -----------------------------------------------------------------------
+
+
+def cfg(**kw):
+    defaults = dict(initial_crowd=5, crowd_step=5, max_crowd=50, min_clients=1)
+    defaults.update(kw)
+    return MFCConfig(**defaults)
+
+
+def test_planner_progresses_to_no_stop():
+    planner = EpochPlanner(cfg())
+    trail = drive(planner, degrade_at=None)
+    assert planner.outcome is StageOutcome.NO_STOP
+    crowds = [c for c, label, _ in trail]
+    assert crowds == [5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+    assert all(label is EpochLabel.NORMAL for _, label, _ in trail)
+
+
+def test_planner_check_phase_confirms_stop():
+    planner = EpochPlanner(cfg())
+    trail = drive(planner, degrade_at=25, degrade_checks=True)
+    assert planner.outcome is StageOutcome.STOPPED
+    assert planner.stopping_crowd_size == 25
+    # trigger at 25, then first check epoch (N-1) confirms
+    assert trail[-1] == (24, EpochLabel.CHECK_MINUS, True)
+
+
+def test_planner_check_phase_failure_resumes():
+    planner = EpochPlanner(cfg())
+    # degrade exactly once at 25; checks all come back clean
+    degraded_once = {"done": False}
+
+    trail = []
+    while True:
+        nxt = planner.next_epoch()
+        if nxt is None:
+            break
+        crowd, label = nxt
+        if label is EpochLabel.NORMAL and crowd == 25 and not degraded_once["done"]:
+            degraded = True
+            degraded_once["done"] = True
+        else:
+            degraded = False
+        trail.append((crowd, label))
+        planner.record(make_epoch(crowd, label, degraded))
+
+    assert planner.outcome is StageOutcome.NO_STOP
+    labels = [label for _, label in trail]
+    assert labels.count(EpochLabel.CHECK_MINUS) == 1
+    assert labels.count(EpochLabel.CHECK_REPEAT) == 1
+    assert labels.count(EpochLabel.CHECK_PLUS) == 1
+    # progression resumed at 30 after the failed check
+    crowds = [c for c, label in trail if label is EpochLabel.NORMAL]
+    assert crowds == [5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+
+
+def test_planner_check_short_circuits_on_first_confirmation():
+    planner = EpochPlanner(cfg())
+    drive(planner, degrade_at=30, degrade_checks=True)
+    check_epochs = [
+        label
+        for _, label, _ in drive(EpochPlanner(cfg()), degrade_at=30)
+        if label is not EpochLabel.NORMAL
+    ]
+    # only the first check epoch runs when it confirms
+    assert check_epochs == [EpochLabel.CHECK_MINUS]
+
+
+def test_planner_below_significance_progresses_despite_degradation():
+    planner = EpochPlanner(cfg(min_significant_crowd=15))
+    trail = drive(planner, degrade_at=5, degrade_checks=True)
+    # crowds 5 and 10 degraded but are below the 15-client minimum;
+    # formal stop happens at 15
+    assert planner.outcome is StageOutcome.STOPPED
+    assert planner.stopping_crowd_size == 15
+    assert planner.earliest_degraded_crowd == 5
+
+
+def test_planner_records_earliest_degraded_crowd():
+    planner = EpochPlanner(cfg())
+    drive(planner, degrade_at=20)
+    assert planner.earliest_degraded_crowd == 20
+
+
+def test_planner_check_phase_disabled_stops_immediately():
+    planner = EpochPlanner(cfg(check_phase=False))
+    trail = drive(planner, degrade_at=25)
+    assert planner.outcome is StageOutcome.STOPPED
+    assert planner.stopping_crowd_size == 25
+    assert all(label is EpochLabel.NORMAL for _, label, _ in trail)
+
+
+def test_planner_client_supply_caps_crowd():
+    planner = EpochPlanner(cfg(max_crowd=500), max_feasible_crowd=23)
+    trail = drive(planner, degrade_at=None)
+    assert planner.outcome is StageOutcome.NO_STOP
+    assert max(c for c, _, _ in trail) <= 23
+
+
+def test_planner_initial_crowd_capped():
+    planner = EpochPlanner(cfg(initial_crowd=30), max_feasible_crowd=10)
+    crowd, label = planner.next_epoch()
+    assert crowd == 10
+
+
+def test_planner_record_after_finish_raises():
+    planner = EpochPlanner(cfg())
+    drive(planner, degrade_at=None)
+    with pytest.raises(RuntimeError):
+        planner.record(make_epoch(5, EpochLabel.NORMAL, False))
+
+
+def test_planner_check_crowd_never_below_one():
+    planner = EpochPlanner(cfg(initial_crowd=1, crowd_step=1, min_significant_crowd=1))
+    nxt = planner.next_epoch()
+    planner.record(make_epoch(1, EpochLabel.NORMAL, True))
+    crowd, label = planner.next_epoch()
+    assert label is EpochLabel.CHECK_MINUS
+    assert crowd >= 1

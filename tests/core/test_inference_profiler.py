@@ -1,0 +1,199 @@
+"""Tests for constraint inference, the profiler and records."""
+
+import pytest
+
+from repro.content.site import SiteContentBuilder, minimal_site
+from repro.core.inference import Provisioning, infer_constraints
+from repro.core.profiler import ProfilerSettings, profile_site
+from repro.core.records import (
+    EpochLabel,
+    EpochResult,
+    MFCResult,
+    StageOutcome,
+    StageResult,
+)
+from repro.core.stages import StageKind, build_stage, standard_stages
+from repro.server.http import Method
+
+import random
+
+
+def stage_result(name, outcome, stopping=None):
+    return StageResult(
+        stage_name=name,
+        outcome=outcome,
+        stopping_crowd_size=stopping,
+        started_at=0.0,
+        ended_at=100.0,
+    )
+
+
+def result_with(base=None, query=None, large=None):
+    result = MFCResult(target_name="t", live_clients=60)
+    if base:
+        result.stages[StageKind.BASE.value] = base
+    if query:
+        result.stages[StageKind.SMALL_QUERY.value] = query
+    if large:
+        result.stages[StageKind.LARGE_OBJECT.value] = large
+    return result
+
+
+# -- inference -------------------------------------------------------------------
+
+
+def test_verdicts_map_outcomes():
+    result = result_with(
+        base=stage_result("Base", StageOutcome.STOPPED, 20),
+        query=stage_result("SmallQuery", StageOutcome.NO_STOP),
+        large=stage_result("LargeObject", StageOutcome.SKIPPED),
+    )
+    report = infer_constraints(result)
+    assert report.verdict_for("Base") is Provisioning.CONSTRAINED
+    assert report.verdict_for("SmallQuery") is Provisioning.ADEQUATE
+    assert report.verdict_for("LargeObject") is Provisioning.UNKNOWN
+
+
+def test_univ3_video_diagnosis():
+    """Base stops, Large Object doesn't → request handling verdict."""
+    result = result_with(
+        base=stage_result("Base", StageOutcome.STOPPED, 90),
+        large=stage_result("LargeObject", StageOutcome.NO_STOP),
+    )
+    report = infer_constraints(result)
+    assert any("request handling, not access bandwidth" in d for d in report.diagnoses)
+
+
+def test_ddos_backend_diagnosis():
+    result = result_with(
+        query=stage_result("SmallQuery", StageOutcome.STOPPED, 30),
+        large=stage_result("LargeObject", StageOutcome.NO_STOP),
+    )
+    report = infer_constraints(result)
+    assert any("application-level DDoS" in d for d in report.diagnoses)
+
+
+def test_univ2_serialization_diagnosis():
+    result = result_with(
+        base=stage_result("Base", StageOutcome.STOPPED, 150),
+        query=stage_result("SmallQuery", StageOutcome.STOPPED, 130),
+        large=stage_result("LargeObject", StageOutcome.STOPPED, 110),
+    )
+    report = infer_constraints(result)
+    assert any("serialization" in d for d in report.diagnoses)
+
+
+def test_no_serialization_diagnosis_when_sizes_differ():
+    result = result_with(
+        base=stage_result("Base", StageOutcome.STOPPED, 20),
+        query=stage_result("SmallQuery", StageOutcome.STOPPED, 130),
+        large=stage_result("LargeObject", StageOutcome.STOPPED, 110),
+    )
+    report = infer_constraints(result)
+    assert not any("serialization" in d for d in report.diagnoses)
+
+
+def test_ddos_order_most_vulnerable_first():
+    result = result_with(
+        base=stage_result("Base", StageOutcome.STOPPED, 50),
+        query=stage_result("SmallQuery", StageOutcome.STOPPED, 10),
+        large=stage_result("LargeObject", StageOutcome.NO_STOP),
+    )
+    report = infer_constraints(result)
+    assert report.ddos_vulnerability_order[0] == "back-end data processing"
+    assert "network access bandwidth" not in report.ddos_vulnerability_order
+
+
+def test_aborted_result_reported():
+    result = MFCResult(target_name="t", aborted=True, abort_reason="only 12 clients")
+    report = infer_constraints(result)
+    assert any("aborted" in d for d in report.diagnoses)
+    assert "aborted" in report.summary() or "12 clients" in report.summary()
+
+
+def test_summary_renders_all_parts():
+    result = result_with(
+        base=stage_result("Base", StageOutcome.STOPPED, 20),
+        large=stage_result("LargeObject", StageOutcome.NO_STOP),
+    )
+    text = infer_constraints(result).summary()
+    assert "http request handling" in text
+    assert "stops at 20" in text
+    assert "no stop observed" in text
+
+
+# -- records -----------------------------------------------------------------------
+
+
+def test_stage_describe_formats():
+    stopped = stage_result("Base", StageOutcome.STOPPED, 25)
+    assert stopped.describe() == "25"
+    nostop = stage_result("Base", StageOutcome.NO_STOP)
+    nostop.epochs.append(
+        EpochResult(
+            index=1, label=EpochLabel.NORMAL, crowd_size=55,
+            clients_used=55, target_time=0.0,
+        )
+    )
+    assert nostop.describe() == "NoStop (55)"
+    assert stage_result("x", StageOutcome.SKIPPED).describe() == "skipped"
+
+
+def test_mfc_result_summary():
+    result = result_with(base=stage_result("Base", StageOutcome.STOPPED, 25))
+    text = result.summary()
+    assert "Base" in text and "25" in text
+
+
+def test_mfc_result_aborted_summary():
+    result = MFCResult(target_name="t", aborted=True, abort_reason="too few")
+    assert "ABORTED" in result.summary()
+
+
+# -- stages / profiler -----------------------------------------------------------
+
+
+def test_standard_stages_full_site():
+    profile = profile_site(minimal_site())
+    stages = standard_stages(profile)
+    kinds = [s.kind for s in stages]
+    assert kinds == [StageKind.BASE, StageKind.SMALL_QUERY, StageKind.LARGE_OBJECT]
+
+
+def test_base_stage_head_method():
+    profile = profile_site(minimal_site())
+    base = build_stage(StageKind.BASE, profile)
+    assert base.method is Method.HEAD
+    assert base.degradation_quantile == 0.5
+    assert base.object_for(0) == profile.base_page
+
+
+def test_large_object_stage_same_object_for_all():
+    profile = profile_site(minimal_site())
+    stage = build_stage(StageKind.LARGE_OBJECT, profile)
+    assert stage.degradation_quantile == 0.9
+    assert stage.object_for(0) == stage.object_for(17)
+
+
+def test_small_query_unique_assignment():
+    profile = profile_site(minimal_site(n_unique_queries=10))
+    stage = build_stage(StageKind.SMALL_QUERY, profile)
+    paths = {stage.object_for(i) for i in range(10)}
+    assert len(paths) == 10
+
+
+def test_stage_skipped_without_objects():
+    profile = profile_site(minimal_site(large_object_bytes=10_000))
+    assert build_stage(StageKind.LARGE_OBJECT, profile) is None
+
+
+def test_profile_site_respects_budget():
+    site = SiteContentBuilder(rng=random.Random(1)).build()
+    profile = profile_site(site, ProfilerSettings(max_objects=5, max_depth=2))
+    total = sum(len(v) for v in profile.by_class.values())
+    assert total <= 5
+
+
+def test_profiler_settings_validation():
+    with pytest.raises(ValueError):
+        profile_site(minimal_site(), ProfilerSettings(max_objects=0))

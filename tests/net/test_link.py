@@ -1,0 +1,196 @@
+"""Tests for the max-min fair fluid network."""
+
+import pytest
+
+from repro.net import Link, Network, TransferAborted
+from repro.sim import Simulator, SimulationError
+
+
+def make_net():
+    sim = Simulator()
+    return sim, Network(sim)
+
+
+def test_single_flow_uses_full_capacity():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)  # 1000 B/s
+    t = net.start_transfer([link], 5000.0)
+    sim.run()
+    assert t.done.processed
+    assert t.finished_at == pytest.approx(5.0)
+
+
+def test_two_flows_share_equally():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    t1 = net.start_transfer([link], 1000.0)
+    t2 = net.start_transfer([link], 1000.0)
+    sim.run()
+    # both at 500 B/s → 2 s each
+    assert t1.finished_at == pytest.approx(2.0)
+    assert t2.finished_at == pytest.approx(2.0)
+
+
+def test_rate_rises_when_competitor_finishes():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    small = net.start_transfer([link], 500.0)
+    big = net.start_transfer([link], 1500.0)
+    sim.run()
+    # phase 1: both at 500 B/s until small done at t=1 (big has 1000 left)
+    # phase 2: big at 1000 B/s → finishes at t=2
+    assert small.finished_at == pytest.approx(1.0)
+    assert big.finished_at == pytest.approx(2.0)
+
+
+def test_late_arrival_slows_existing_flow():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    first = net.start_transfer([link], 2000.0)
+
+    second_holder = {}
+
+    def arrive_later():
+        second_holder["t"] = net.start_transfer([link], 500.0)
+
+    sim.call_in(1.0, arrive_later)
+    sim.run()
+    # first: 1000 B in first second, shares 500 B/s for 1 s (500 B more),
+    # then 500 B at full rate → 1.0 + 1.0 + 0.5 = 2.5 s
+    assert second_holder["t"].finished_at == pytest.approx(2.0)
+    assert first.finished_at == pytest.approx(2.5)
+
+
+def test_bottleneck_is_minimum_along_path():
+    sim, net = make_net()
+    fast = net.add_link("fast", 10_000.0)
+    slow = net.add_link("slow", 100.0)
+    t = net.start_transfer([fast, slow], 1000.0)
+    sim.run()
+    assert t.finished_at == pytest.approx(10.0)
+
+
+def test_max_min_respects_per_client_caps():
+    """One shared link, two clients with very different access rates."""
+    sim, net = make_net()
+    shared = net.add_link("server", 1000.0)
+    slow_client = net.add_link("dsl", 100.0)
+    fast_client = net.add_link("fiber", 10_000.0)
+    slow = net.start_transfer([shared, slow_client], 100.0)
+    fast = net.start_transfer([shared, fast_client], 900.0)
+    sim.run()
+    # max-min: slow flow pinned at 100 B/s by its access link; fast flow
+    # gets the remaining 900 B/s of the shared link
+    assert slow.finished_at == pytest.approx(1.0)
+    assert fast.finished_at == pytest.approx(1.0)
+
+
+def test_bytes_conservation_across_many_flows():
+    sim, net = make_net()
+    link = net.add_link("l", 1234.0)
+    sizes = [100.0, 450.0, 901.0, 77.0, 3000.0]
+    transfers = [net.start_transfer([link], s) for s in sizes]
+    sim.run()
+    assert all(t.done.processed for t in transfers)
+    assert link.bytes_delivered == pytest.approx(sum(sizes))
+
+
+def test_zero_byte_transfer_completes_immediately():
+    sim, net = make_net()
+    link = net.add_link("l", 10.0)
+    t = net.start_transfer([link], 0.0)
+    assert t.done.triggered
+    sim.run()
+    assert t.finished_at == 0.0
+
+
+def test_abort_frees_capacity():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    doomed = net.start_transfer([link], 10_000.0)
+    survivor = net.start_transfer([link], 1000.0)
+    sim.call_in(0.5, lambda: net.abort(doomed))
+    sim.run()
+    # survivor: 0.5 s at 500 B/s (250 B), then full rate for 750 B → 1.25 s
+    assert survivor.finished_at == pytest.approx(1.25)
+    assert doomed.aborted
+    assert isinstance(doomed.done.exception, TransferAborted)
+
+
+def test_abort_is_idempotent():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    t = net.start_transfer([link], 1000.0)
+    net.abort(t)
+    net.abort(t)  # second abort is a no-op
+    sim.run()
+    assert t.aborted
+
+
+def test_waiting_process_sees_abort_exception():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    outcome = []
+
+    def downloader(sim):
+        t = net.start_transfer([link], 10_000.0)
+        try:
+            yield t.done
+            outcome.append("done")
+        except TransferAborted:
+            outcome.append("aborted")
+
+    sim.process(downloader(sim))
+    sim.call_in(1.0, lambda: net.abort(next(iter(net._active))))
+    sim.run()
+    assert outcome == ["aborted"]
+
+
+def test_link_utilization_and_flow_count():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    net.start_transfer([link], 5000.0)
+    net.start_transfer([link], 5000.0)
+    sim.run(until=1.0)
+    assert link.active_flows == 2
+    assert link.utilization() == pytest.approx(1.0)
+    assert link.current_rate() == pytest.approx(1000.0)
+
+
+def test_negative_size_rejected():
+    sim, net = make_net()
+    link = net.add_link("l", 1.0)
+    with pytest.raises(SimulationError):
+        net.start_transfer([link], -5.0)
+
+
+def test_empty_path_rejected():
+    sim, net = make_net()
+    with pytest.raises(SimulationError):
+        net.start_transfer([], 5.0)
+
+
+def test_duplicate_link_name_rejected():
+    sim, net = make_net()
+    net.add_link("x", 1.0)
+    with pytest.raises(SimulationError):
+        net.add_link("x", 2.0)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        Link("bad", 0.0)
+
+
+def test_many_flows_on_shared_plus_private_links():
+    """N flows over the server link, each with a private fat access link."""
+    sim, net = make_net()
+    server = net.add_link("server", 1000.0)
+    transfers = []
+    for i in range(10):
+        access = net.add_link(f"acc{i}", 10_000.0)
+        transfers.append(net.start_transfer([server, access], 100.0))
+    sim.run()
+    # each gets 100 B/s → all finish at t=1
+    for t in transfers:
+        assert t.finished_at == pytest.approx(1.0)

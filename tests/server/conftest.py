@@ -1,0 +1,60 @@
+"""Shared world-building helpers for server tests."""
+
+from typing import Optional
+
+import pytest
+
+from repro.content.site import SiteContent, minimal_site
+from repro.net.topology import ClientSpec, Topology, TopologySpec
+from repro.server.http import HTTPRequest, Method
+from repro.server.resources import ServerSpec
+from repro.server.webserver import SimWebServer
+from repro.sim import Simulator
+
+
+def build_world(
+    spec: Optional[ServerSpec] = None,
+    site: Optional[SiteContent] = None,
+    server_access_bps: float = 1e9,
+    n_clients: int = 4,
+    rtt: float = 0.05,
+    client_bps: float = 1e9,
+):
+    """A simulator, topology and server wired together, jitter-free."""
+    sim = Simulator()
+    topo = Topology(
+        sim,
+        TopologySpec(
+            server_access_bps=server_access_bps,
+            clients=[
+                ClientSpec(
+                    f"c{i}",
+                    rtt_to_target=rtt,
+                    rtt_to_coord=0.02,
+                    access_bps=client_bps,
+                    jitter=0.0,
+                )
+                for i in range(n_clients)
+            ],
+        ),
+    )
+    server = SimWebServer(
+        sim,
+        spec if spec is not None else ServerSpec(),
+        site if site is not None else minimal_site(),
+        topo.network,
+        topo.server_access,
+    )
+    return sim, topo, server
+
+
+def fetch(sim, server, client, path, method=Method.GET, rtt=0.05):
+    """Run one request to completion; returns the HTTPResponse."""
+    request = HTTPRequest(method=method, path=path, client_id=client.client_id)
+    proc = server.submit(request, client, rtt)
+    return sim.run_until_complete(proc)
+
+
+@pytest.fixture
+def world():
+    return build_world()

@@ -1,0 +1,74 @@
+"""Tests for the byte-budgeted LRU cache."""
+
+import pytest
+
+from repro.server import LRUCache
+
+
+def test_miss_then_hit():
+    cache = LRUCache(1000)
+    assert not cache.lookup("a")
+    cache.insert("a", 100)
+    assert cache.lookup("a")
+    assert cache.stats() == (1, 1, 0)
+    assert cache.hit_rate() == 0.5
+
+
+def test_eviction_is_lru():
+    cache = LRUCache(300)
+    cache.insert("a", 100)
+    cache.insert("b", 100)
+    cache.insert("c", 100)
+    cache.lookup("a")          # refresh a; b is now LRU
+    cache.insert("d", 100)     # evicts b
+    assert "a" in cache and "c" in cache and "d" in cache
+    assert "b" not in cache
+    assert cache.evictions == 1
+
+
+def test_oversize_entry_not_cached():
+    cache = LRUCache(100)
+    assert not cache.insert("huge", 500)
+    assert len(cache) == 0
+
+
+def test_zero_capacity_disables():
+    cache = LRUCache(0)
+    assert not cache.enabled
+    assert not cache.insert("a", 1)
+    assert not cache.lookup("a")
+    assert cache.misses == 1
+
+
+def test_reinsert_updates_size():
+    cache = LRUCache(1000)
+    cache.insert("a", 100)
+    cache.insert("a", 300)
+    assert cache.used_bytes == 300
+    assert len(cache) == 1
+
+
+def test_invalidate_and_clear():
+    cache = LRUCache(1000)
+    cache.insert("a", 100)
+    cache.insert("b", 100)
+    assert cache.invalidate("a")
+    assert not cache.invalidate("a")
+    assert cache.used_bytes == 100
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0
+
+
+def test_used_never_exceeds_capacity():
+    cache = LRUCache(250)
+    for i in range(50):
+        cache.insert(f"k{i}", 90)
+        assert cache.used_bytes <= 250
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+    cache = LRUCache(10)
+    with pytest.raises(ValueError):
+        cache.insert("a", -5)

@@ -1,0 +1,147 @@
+"""Tests for events, timeouts and condition combinators."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator, SimulationError, Timeout
+
+
+def test_event_lifecycle():
+    sim = Simulator()
+    ev = sim.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed(value=7)
+    assert ev.triggered and not ev.processed
+    sim.run()
+    assert ev.processed and ev.ok and ev.value == 7
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_ok_before_fire_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unwaited_failure_surfaces_at_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_subscribe_after_processed_still_fires():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(value="x")
+    sim.run()
+    seen = []
+    ev.subscribe(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_unsubscribe_removes_pending_callback():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+    cb = lambda e: seen.append(1)  # noqa: E731
+    ev.subscribe(cb)
+    assert ev.unsubscribe(cb)
+    ev.succeed()
+    sim.run()
+    assert seen == []
+
+
+def test_timeout_negative_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Timeout(sim, -0.5)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    t = sim.timeout(2.0, value="done")
+    sim.run()
+    assert t.value == "done"
+    assert sim.now == 2.0
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    a, b = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+    cond = AllOf(sim, [a, b])
+    sim.run()
+    assert cond.processed and cond.ok
+    assert set(cond.value.values()) == {"a", "b"}
+    # AllOf completes when the later child fires
+    assert sim.now == 3.0
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    a, b = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+    cond = AnyOf(sim, [a, b])
+
+    done_at = []
+    cond.subscribe(lambda e: done_at.append(sim.now))
+    sim.run()
+    assert done_at == [1.0]
+    assert list(cond.value.values()) == ["a"]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    sim.run()
+    assert cond.processed and cond.value == {}
+
+
+def test_allof_propagates_failure():
+    sim = Simulator()
+    good = sim.timeout(1.0)
+    bad = sim.event()
+    bad.fail(RuntimeError("child failed"), delay=0.5)
+    cond = AllOf(sim, [good, bad])
+
+    def waiter(sim, cond):
+        with pytest.raises(RuntimeError, match="child failed"):
+            yield cond
+
+    proc = sim.process(waiter(sim, cond))
+    sim.run_until_complete(proc)
+
+
+def test_anyof_failure_of_first_child():
+    sim = Simulator()
+    bad = sim.event()
+    bad.fail(RuntimeError("x"), delay=0.1)
+    slow = sim.timeout(5.0)
+    cond = AnyOf(sim, [bad, slow])
+
+    def waiter():
+        with pytest.raises(RuntimeError):
+            yield cond
+
+    sim.run_until_complete(sim.process(waiter()))
+
+
+def test_condition_rejects_non_events():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim, [42])  # type: ignore[list-item]

@@ -1,0 +1,129 @@
+"""Tests for the simulation kernel event loop."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_in_runs_at_right_time():
+    sim = Simulator()
+    seen = []
+    sim.call_in(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(3.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.0]
+
+
+def test_call_at_past_raises():
+    sim = Simulator()
+    sim.call_in(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_in(2.0, lambda: order.append("b"))
+    sim.call_in(1.0, lambda: order.append("a"))
+    sim.call_in(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.call_in(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    sim.call_in(100.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    sim.run()
+    assert sim.now == 100.0
+
+
+def test_run_until_with_no_events_advances_clock():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.schedule(ev, delay=-1.0)
+
+
+def test_peek_reports_next_timestamp():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.call_in(7.0, lambda: None)
+    assert sim.peek() == 7.0
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        return 99
+
+    proc = sim.process(body(sim))
+    assert sim.run_until_complete(proc) == 99
+    assert sim.now == 1.0
+
+
+def test_run_until_complete_deadlock_detection():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.event()  # never fires
+
+    proc = sim.process(body(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(proc)
+
+
+def test_run_until_complete_time_limit():
+    sim = Simulator()
+
+    def body(sim):
+        yield sim.timeout(1e12)
+
+    proc = sim.process(body(sim))
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_complete(proc, limit=100.0)
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.call_in(2.0, lambda: seen.append(("inner", sim.now)))
+
+    sim.call_in(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 3.0)]

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCENARIOS, build_parser, main
+
+
+def test_list_prints_all_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in SCENARIOS:
+        assert name in out
+
+
+def test_run_quiet_prints_stage_lines(capsys):
+    code = main([
+        "run", "qtnp", "--max-crowd", "15", "--clients", "55",
+        "--stage", "base", "--quiet", "--seed", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("Base\t")
+
+
+def test_run_full_output_has_inference(capsys):
+    code = main([
+        "run", "univ1", "--max-crowd", "20", "--clients", "55",
+        "--stage", "base", "--seed", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "MFC against univ1" in out
+    assert "Constraint report" in out
+
+
+def test_run_aborts_with_small_fleet(capsys):
+    # the paper's behaviour: a fleet that cannot field the minimum
+    # number of live clients aborts the experiment → non-zero exit
+    code = main([
+        "run", "qtnp", "--clients", "30", "--min-clients", "50",
+        "--stage", "base", "--seed", "3",
+    ])
+    assert code == 1
+    assert "ABORTED" in capsys.readouterr().out
+
+
+def test_run_mfc_mr_flag(capsys):
+    code = main([
+        "run", "qtnp", "--mr", "2", "--threshold-ms", "250",
+        "--max-crowd", "30", "--step", "10", "--clients", "55",
+        "--stage", "base", "--quiet", "--seed", "4",
+    ])
+    assert code == 0
+
+
+def test_run_stagger_flag(capsys):
+    code = main([
+        "run", "qtnp", "--stagger-ms", "100", "--max-crowd", "15",
+        "--clients", "55", "--stage", "base", "--quiet", "--seed", "5",
+    ])
+    assert code == 0
+
+
+def test_run_background_override(capsys):
+    code = main([
+        "run", "univ3", "--background", "2.0", "--max-crowd", "15",
+        "--clients", "55", "--stage", "base", "--quiet", "--seed", "6",
+    ])
+    assert code == 0
+
+
+def test_parser_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nonexistent"])
+
+
+def test_parser_rejects_unknown_stage():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "qtnp", "--stage", "upload"])

@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs clean and says what it
+promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_quickstart_runs():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Constraint report" in proc.stdout
+    assert "Base" in proc.stdout
+
+
+def test_cooperating_site_runs():
+    proc = run_example("cooperating_site.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "MFC share of all traffic" in proc.stdout
+    assert "request handling, not bandwidth" in proc.stdout
+
+
+def test_ddos_vulnerability_runs():
+    proc = run_example("ddos_vulnerability.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Staggered MFC" in proc.stdout
+
+
+def test_hosting_comparison_runs():
+    proc = run_example("hosting_comparison.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "4-box-cluster" in proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "cooperating_site.py",
+            "ddos_vulnerability.py", "hosting_comparison.py"} <= names

@@ -1,0 +1,223 @@
+"""Tests for fleets, background traffic and populations."""
+
+import random
+
+import pytest
+
+from repro.content.site import minimal_site
+from repro.net.topology import ClientSpec, Topology, TopologySpec
+from repro.server.resources import ServerSpec
+from repro.server.webserver import SimWebServer
+from repro.sim import Simulator, RNGRegistry
+from repro.workload import (
+    BackgroundTraffic,
+    FleetSpec,
+    build_fleet,
+    generate_population,
+    phishing_population,
+    quantcast_strata,
+    startup_population,
+)
+from repro.workload.background import RequestMix
+from repro.workload.populations import RankStratumSpec, generate_stratum
+
+
+# -- fleet ------------------------------------------------------------------------
+
+
+def test_fleet_size_and_ids():
+    fleet = build_fleet(FleetSpec(n_clients=20), rng=random.Random(1))
+    assert len(fleet) == 20
+    assert len({c.client_id for c in fleet}) == 20
+
+
+def test_fleet_deterministic():
+    a = build_fleet(FleetSpec(), rng=random.Random(7))
+    b = build_fleet(FleetSpec(), rng=random.Random(7))
+    assert [c.rtt_to_target for c in a] == [c.rtt_to_target for c in b]
+
+
+def test_fleet_rtts_within_range():
+    spec = FleetSpec(n_clients=200, rtt_range=(0.02, 0.25))
+    fleet = build_fleet(spec, rng=random.Random(2))
+    assert all(0.02 <= c.rtt_to_target <= 0.25 for c in fleet)
+
+
+def test_fleet_unresponsive_fraction():
+    spec = FleetSpec(n_clients=500, unresponsive_fraction=0.2)
+    fleet = build_fleet(spec, rng=random.Random(3))
+    frac = sum(c.unresponsive_prob == 1.0 for c in fleet) / len(fleet)
+    assert 0.12 < frac < 0.28
+
+
+def test_fleet_bottleneck_assignment():
+    spec = FleetSpec(
+        n_clients=100, bottleneck_group="transit", bottleneck_fraction=0.5
+    )
+    fleet = build_fleet(spec, rng=random.Random(4))
+    behind = sum(c.bottleneck_group == "transit" for c in fleet)
+    assert 30 < behind < 70
+
+
+def test_fleet_validation():
+    with pytest.raises(ValueError):
+        FleetSpec(n_clients=0).validate()
+    with pytest.raises(ValueError):
+        FleetSpec(unresponsive_fraction=1.0).validate()
+    with pytest.raises(ValueError):
+        FleetSpec(bottleneck_fraction=0.5).validate()  # no group named
+
+
+# -- background traffic ---------------------------------------------------------------
+
+
+def background_world(rate, duration=100.0, mix=None):
+    sim = Simulator()
+    topo = Topology(
+        sim,
+        TopologySpec(
+            server_access_bps=1e9,
+            clients=[
+                ClientSpec(f"bg{i}", 0.03, 0.02, 1e8, jitter=0.0) for i in range(4)
+            ],
+        ),
+    )
+    server = SimWebServer(
+        sim, ServerSpec(), minimal_site(), topo.network, topo.server_access
+    )
+    traffic = BackgroundTraffic(
+        sim,
+        server,
+        minimal_site(),
+        topo.clients,
+        rate_rps=rate,
+        rng=random.Random(5),
+        mix=mix,
+    )
+    traffic.start()
+    sim.run(until=duration)
+    traffic.stop()
+    sim.run()
+    return server, traffic
+
+
+def test_background_rate_approximates_poisson():
+    server, traffic = background_world(rate=5.0, duration=200.0)
+    rate = traffic.requests_issued / 200.0
+    assert 4.0 < rate < 6.0
+
+
+def test_background_requests_not_marked_mfc():
+    server, _ = background_world(rate=2.0, duration=50.0)
+    assert len(server.access_log.mfc_records()) == 0
+    assert len(server.access_log.background_records()) > 50
+
+
+def test_background_zero_rate_is_noop():
+    server, traffic = background_world(rate=0.0)
+    assert traffic.requests_issued == 0
+
+
+def test_background_mix_heads_only():
+    mix = RequestMix(head=1.0, static=0.0, query=0.0)
+    server, _ = background_world(rate=5.0, duration=50.0, mix=mix)
+    from repro.server.http import Method
+
+    assert all(r.method is Method.HEAD for r in server.access_log.records)
+
+
+def test_background_mix_validation():
+    with pytest.raises(ValueError):
+        RequestMix(head=0.5, static=0.5, query=0.5).validate()
+
+
+def test_background_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BackgroundTraffic(sim, None, minimal_site(), [], rate_rps=1.0)
+
+
+# -- populations ------------------------------------------------------------------------
+
+
+def test_quantcast_strata_counts():
+    strata = quantcast_strata()
+    assert [s.name for s in strata] == ["1-1K", "1K-10K", "10K-100K", "100K-1M"]
+    assert [s.n_sites for s in strata] == [114, 107, 118, 148]
+
+
+def test_quantcast_scale():
+    strata = quantcast_strata(scale=0.1)
+    assert [s.n_sites for s in strata] == [11, 11, 12, 15]
+
+
+def test_generate_population_deterministic():
+    sites_a = generate_population(quantcast_strata(scale=0.05), seed=9)
+    sites_b = generate_population(quantcast_strata(scale=0.05), seed=9)
+    assert [s.site_id for s in sites_a] == [s.site_id for s in sites_b]
+    assert [
+        s.scenario.server_spec.head_cpu_s for s in sites_a
+    ] == [s.scenario.server_spec.head_cpu_s for s in sites_b]
+
+
+def test_population_sites_have_valid_scenarios():
+    sites = generate_population(quantcast_strata(scale=0.05), seed=1)
+    for site in sites:
+        site.scenario.server_spec.validate()
+        assert site.scenario.server_access_bps > 0
+        assert "/index.html" in site.scenario.site
+
+
+def test_rank_correlation_of_head_cost():
+    """Lower-ranked strata draw slower HEAD processing on average."""
+    sites = generate_population(quantcast_strata(scale=0.5), seed=2)
+    by_stratum = {}
+    for s in sites:
+        by_stratum.setdefault(s.stratum, []).append(
+            s.scenario.server_spec.head_cpu_s
+        )
+    means = {k: sum(v) / len(v) for k, v in by_stratum.items()}
+    assert means["1-1K"] < means["10K-100K"] < means["100K-1M"]
+
+
+def test_response_cache_probability_rank_correlated():
+    sites = generate_population(quantcast_strata(scale=1.0), seed=3)
+    frac = {}
+    for stratum in ("1-1K", "100K-1M"):
+        group = [s for s in sites if s.stratum == stratum]
+        frac[stratum] = sum(
+            1 for s in group if s.scenario.server_spec.response_cache_bytes > 0
+        ) / len(group)
+    assert frac["1-1K"] > frac["100K-1M"] + 0.3
+
+
+def test_startup_population_bimodal():
+    strata = startup_population()
+    names = [s.name for s in strata]
+    assert "startup-hosted" in names and "startup-weak" in names
+    total = sum(s.n_sites for s in strata)
+    assert total == 107
+
+
+def test_phishing_population_count():
+    strata = phishing_population()
+    assert strata[0].n_sites == 89
+    # half the phishing sites host no dynamic content
+    assert strata[0].has_small_query_prob == 0.5
+
+
+def test_stratum_validation():
+    with pytest.raises(ValueError):
+        RankStratumSpec(name="x", n_sites=-1).validate()
+    with pytest.raises(ValueError):
+        RankStratumSpec(name="x", n_sites=1, head_cpu_median_s=0).validate()
+    with pytest.raises(ValueError):
+        RankStratumSpec(name="x", n_sites=1, bandwidth_choices=()).validate()
+
+
+def test_generate_stratum_site_count_and_naming():
+    spec = RankStratumSpec(name="test", n_sites=5)
+    sites = generate_stratum(spec, RNGRegistry(0))
+    assert len(sites) == 5
+    assert all(s.stratum == "test" for s in sites)
+    assert len({s.site_id for s in sites}) == 5
