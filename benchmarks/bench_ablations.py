@@ -15,8 +15,9 @@
 
 import statistics
 
-from benchmarks.conftest import emit, sweep_config
+from benchmarks.conftest import bench_cache, bench_jobs, emit, sweep_config
 from repro.analysis.tables import TextTable
+from repro.campaign import FULL, CampaignSpec, JobSpec, run_campaign
 from repro.core.config import MFCConfig
 from repro.core.epochs import degradation_aggregate
 from repro.core.records import StageOutcome
@@ -50,8 +51,28 @@ def run_bottlenecked_large_object(seed=21):
     return result.stage(StageKind.LARGE_OBJECT.value)
 
 
+def run_percentile_ablation():
+    # one job, but run through the campaign engine at full detail so
+    # the epoch-level reports survive the result cache
+    [outcome] = run_campaign(
+        CampaignSpec(
+            name="ablation-percentile",
+            jobs=[
+                JobSpec(
+                    job_id="bottlenecked-large-object|seed21",
+                    func="benchmarks.bench_ablations:run_bottlenecked_large_object",
+                    kwargs={"seed": 21},
+                )
+            ],
+        ),
+        store=bench_cache("ablations"),
+        detail=FULL,
+    )
+    return outcome.result
+
+
 def test_ablation_percentile_rule(benchmark):
-    stage = benchmark.pedantic(run_bottlenecked_large_object, rounds=1, iterations=1)
+    stage = benchmark.pedantic(run_percentile_ablation, rounds=1, iterations=1)
     theta = 0.100
     table = TextTable(
         ["crowd", "median rule (Δms)", "90% rule (Δms)", "median stops?", "90% stops?"],
@@ -122,11 +143,29 @@ def run_transient_blips(check_phase, seed, busy_period_s):
 
 def run_checkphase_ablation():
     # vary the busy-window phase via the period so different runs
-    # collide with different epochs
+    # collide with different epochs; the 20 runs are independent, so
+    # they fan out over the campaign engine's worker pool
     cases = [(seed, 31.0 + seed) for seed in range(50, 60)]
-    with_check = [run_transient_blips(True, s, p) for s, p in cases]
-    without_check = [run_transient_blips(False, s, p) for s, p in cases]
-    return with_check, without_check
+    jobs = [
+        JobSpec(
+            job_id=f"blips|check{check}|seed{seed}",
+            func="benchmarks.bench_ablations:run_transient_blips",
+            kwargs={
+                "check_phase": check,
+                "seed": seed,
+                "busy_period_s": period,
+            },
+        )
+        for check in (True, False)
+        for seed, period in cases
+    ]
+    outcomes = run_campaign(
+        CampaignSpec(name="ablation-check-phase", jobs=jobs),
+        jobs=bench_jobs(),
+        store=bench_cache("ablations"),
+    )
+    stages = [o.result for o in outcomes]
+    return stages[: len(cases)], stages[len(cases):]
 
 
 def stop_sizes(stages):
@@ -195,7 +234,22 @@ def run_sync_ablation(naive, seed=41):
 
 
 def run_both_sync():
-    return run_sync_ablation(naive=False), run_sync_ablation(naive=True)
+    synced, naive = run_campaign(
+        CampaignSpec(
+            name="ablation-synchronization",
+            jobs=[
+                JobSpec(
+                    job_id=f"sync|naive{naive}|seed41",
+                    func="benchmarks.bench_ablations:run_sync_ablation",
+                    kwargs={"naive": naive, "seed": 41},
+                )
+                for naive in (False, True)
+            ],
+        ),
+        jobs=bench_jobs(),
+        store=bench_cache("ablations"),
+    )
+    return synced.result, naive.result
 
 
 def test_ablation_synchronization(benchmark):

@@ -19,7 +19,7 @@ Populations are drawn at the paper's per-stratum site counts
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_cache, bench_jobs, emit
 from repro.analysis import run_stage_study
 from repro.analysis.figures import stacked_breakdown
 from repro.analysis.study import bucket_labels
@@ -36,7 +36,15 @@ STRATA_ORDER = ["1-1K", "1K-10K", "10K-100K", "100K-1M"]
 
 def run_study(stage, seed):
     sites = generate_population(quantcast_strata(scale=1.0), seed=seed)
-    return run_stage_study(sites, stage, config=CONFIG, fleet_spec=FLEET, seed=seed)
+    return run_stage_study(
+        sites,
+        stage,
+        config=CONFIG,
+        fleet_spec=FLEET,
+        seed=seed,
+        jobs=bench_jobs(),
+        cache_path=bench_cache("fig789_populations"),
+    )
 
 
 def render(result, title):

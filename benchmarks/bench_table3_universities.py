@@ -14,11 +14,11 @@ Paper signatures:
   with background traffic (morning 20.3 req/s vs evening 12.5 req/s).
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_cache, bench_jobs, emit
 from repro.analysis.tables import TextTable
+from repro.campaign import CampaignSpec, JobSpec, run_campaign
 from repro.core.config import MFCConfig
 from repro.core.inference import infer_constraints
-from repro.core.runner import MFCRunner
 from repro.core.stages import StageKind
 from repro.core.records import StageOutcome
 from repro.core.variants import mfc_mr_config
@@ -26,45 +26,56 @@ from repro.server.presets import univ1_server, univ2_server, univ3_server
 from repro.workload.fleet import FleetSpec
 
 FLEET = FleetSpec(n_clients=82, unresponsive_fraction=0.05)
+UNIV3_RATES = (20.3, 18.7, 12.5)
 
 
-def run_univ1(seed=11):
-    runner = MFCRunner.build(
-        univ1_server(),
-        fleet_spec=FleetSpec(n_clients=60, unresponsive_fraction=0.05),
-        config=MFCConfig(min_clients=50, max_crowd=50),
-        seed=seed,
-    )
-    return runner.run()
-
-
-def run_univ2(seed=12):
-    config = mfc_mr_config(
+def _mr_config():
+    return mfc_mr_config(
         MFCConfig(min_clients=50, crowd_step=10, initial_crowd=10),
         requests_per_client=2,
         max_crowd=150,
     )
-    runner = MFCRunner.build(univ2_server(), fleet_spec=FLEET, config=config, seed=seed)
-    return runner.run()
 
 
-def run_univ3(background_rps, seed=13):
-    config = mfc_mr_config(
-        MFCConfig(min_clients=50, crowd_step=10, initial_crowd=10),
-        requests_per_client=2,
-        max_crowd=150,
-    )
-    scenario = univ3_server().with_background(background_rps)
-    runner = MFCRunner.build(scenario, fleet_spec=FLEET, config=config, seed=seed)
-    return runner.run()
+def university_jobs():
+    """The five §4.2 runs as one campaign (all mutually independent)."""
+    jobs = [
+        JobSpec(
+            job_id="univ1|seed11",
+            scenario=univ1_server(),
+            fleet_spec=FleetSpec(n_clients=60, unresponsive_fraction=0.05),
+            config=MFCConfig(min_clients=50, max_crowd=50),
+            seed=11,
+        ),
+        JobSpec(
+            job_id="univ2|seed12",
+            scenario=univ2_server(),
+            fleet_spec=FLEET,
+            config=_mr_config(),
+            seed=12,
+        ),
+    ]
+    for rps in UNIV3_RATES:
+        jobs.append(
+            JobSpec(
+                job_id=f"univ3|bg{rps}|seed13",
+                scenario=univ3_server().with_background(rps),
+                fleet_spec=FLEET,
+                config=_mr_config(),
+                seed=13,
+            )
+        )
+    return jobs
 
 
 def run_all():
-    return (
-        run_univ1(),
-        run_univ2(),
-        {rps: run_univ3(rps) for rps in (20.3, 18.7, 12.5)},
+    outcomes = run_campaign(
+        CampaignSpec(name="table3-universities", jobs=university_jobs()),
+        jobs=bench_jobs(),
+        store=bench_cache("table3_universities"),
     )
+    u1, u2, *u3 = [o.result for o in outcomes]
+    return u1, u2, dict(zip(UNIV3_RATES, u3))
 
 
 def stage_cell(result, kind):

@@ -7,7 +7,7 @@
   "quite similar to low-end Web sites" (the 100K-1M stratum).
 """
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_cache, bench_jobs, emit
 from repro.analysis import run_stage_study
 from repro.analysis.study import bucket_labels
 from repro.analysis.tables import TextTable
@@ -41,19 +41,26 @@ def run_startups():
     import random
 
     sites = generate_population(startup_population(scale=1.0), seed=4)
-    base = run_stage_study(sites, StageKind.BASE, config=CONFIG, fleet_spec=FLEET, seed=4)
+    base = run_stage_study(
+        sites, StageKind.BASE, config=CONFIG, fleet_spec=FLEET, seed=4,
+        jobs=bench_jobs(), cache_path=bench_cache("table4_startups"),
+    )
     # the paper measured only 82 of the startups for Small Query —
     # drawn across the population, not stratum-by-stratum
     subset = random.Random(5).sample(sites, 82)
     query = run_stage_study(
-        subset, StageKind.SMALL_QUERY, config=CONFIG, fleet_spec=FLEET, seed=5
+        subset, StageKind.SMALL_QUERY, config=CONFIG, fleet_spec=FLEET, seed=5,
+        jobs=bench_jobs(), cache_path=bench_cache("table4_startups"),
     )
     return base, query
 
 
 def run_phishing():
     sites = generate_population(phishing_population(scale=1.0), seed=6)
-    return run_stage_study(sites, StageKind.BASE, config=CONFIG, fleet_spec=FLEET, seed=6)
+    return run_stage_study(
+        sites, StageKind.BASE, config=CONFIG, fleet_spec=FLEET, seed=6,
+        jobs=bench_jobs(), cache_path=bench_cache("table5_phishing"),
+    )
 
 
 def test_table4_startups(benchmark):
@@ -85,6 +92,8 @@ def test_table5_phishing(benchmark):
         config=CONFIG,
         fleet_spec=FLEET,
         seed=7,
+        jobs=bench_jobs(),
+        cache_path=bench_cache("table5_phishing"),
     )
     table = bucket_table(
         "Table 5: phishing-server Base-stage stopping crowd sizes "

@@ -4,8 +4,22 @@ Every bench regenerates one table or figure from the paper.  The
 rendered artifact goes to ``benchmarks/results/<name>.txt`` (and to
 stdout when pytest runs with ``-s``), while pytest-benchmark captures
 the wall-clock cost of the underlying experiment.
+
+The population and ablation benches run through the campaign engine:
+``MFC_BENCH_JOBS`` sets the worker-process count (default: up to 8,
+bounded by the CPU count; ``1`` forces the sequential path) and
+``MFC_BENCH_CACHE=0`` disables the JSONL result cache under
+``benchmarks/results/cache/``.  Cache file names embed a fingerprint
+of the ``src/repro`` sources, so any code edit starts a fresh cache
+and benches never validate stale results — within one code state, a
+re-run reuses every finished experiment and an interrupted bench
+session resumes where it stopped (cached re-runs therefore time the
+store lookup, not the experiment).
 """
 
+import functools
+import hashlib
+import os
 import pathlib
 
 import pytest
@@ -24,6 +38,34 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: a threshold no epoch crosses: turns the MFC into a pure crowd sweep
 SWEEP_THRESHOLD_S = 1e6
+
+
+def bench_jobs():
+    """Worker-process count for campaign-driven benches (None = sequential)."""
+    env = os.environ.get("MFC_BENCH_JOBS")
+    if env is not None:
+        count = int(env)
+    else:
+        count = min(os.cpu_count() or 1, 8)
+    return count if count > 1 else None
+
+
+@functools.lru_cache(maxsize=1)
+def _code_fingerprint() -> str:
+    """Digest of the library sources backing the cached results."""
+    src = pathlib.Path(__file__).parent.parent / "src" / "repro"
+    digest = hashlib.sha256()
+    for path in sorted(src.rglob("*.py")):
+        digest.update(str(path.relative_to(src)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
+
+
+def bench_cache(name: str):
+    """Per-bench JSONL result-store path (None when caching is off)."""
+    if os.environ.get("MFC_BENCH_CACHE", "1").lower() in ("0", "no", "off"):
+        return None
+    return RESULTS_DIR / "cache" / f"{name}-{_code_fingerprint()}.jsonl"
 
 
 def emit(name: str, text: str) -> None:

@@ -1,0 +1,10 @@
+"""Compatibility shim: metadata lives in pyproject.toml.
+
+Lets minimal environments without PEP 660 support (no ``wheel``
+package, no network for build isolation) still do an editable
+install via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

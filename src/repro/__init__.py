@@ -18,6 +18,9 @@ The package is layered bottom-up:
 - :mod:`repro.core` — the paper's contribution: the MFC coordinator,
   client agents, stage/epoch engine, synchronization scheduler,
   constraint inference and the MFC-mr / staggered / measurer variants.
+- :mod:`repro.campaign` — parallel experiment campaigns: declarative
+  job grids, a process-pool executor with a deterministic sequential
+  fallback, and a resumable JSONL result cache.
 - :mod:`repro.analysis` — statistics, table/figure renderers and the
   large-scale study driver.
 
@@ -31,6 +34,6 @@ Quickstart::
     print(result.summary())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -8,11 +8,13 @@ Tables 4–5 do: ``10-20, 20-30, 30-40, 40-50, No-Stop``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec
 from repro.core.config import MFCConfig
-from repro.core.records import StageOutcome
-from repro.core.runner import MFCRunner
+from repro.core.records import MFCResult, StageOutcome
 from repro.core.stages import StageKind
 from repro.workload.fleet import FleetSpec
 from repro.workload.populations import PopulationSite
@@ -136,47 +138,52 @@ class StudyResult:
         )
 
 
+def _measure(site: PopulationSite, stage: StageKind, mfc_result: MFCResult) -> SiteMeasurement:
+    """Map one site's experiment result to its study measurement."""
+    if mfc_result.aborted or stage.value not in mfc_result.stages:
+        return SiteMeasurement(
+            site_id=site.site_id,
+            stratum=site.stratum,
+            outcome=StageOutcome.SKIPPED,
+            stopping_size=None,
+        )
+    stage_result = mfc_result.stage(stage.value)
+    return SiteMeasurement(
+        site_id=site.site_id,
+        stratum=site.stratum,
+        outcome=stage_result.outcome,
+        stopping_size=stage_result.stopping_crowd_size,
+    )
+
+
 def run_stage_study(
     sites: Sequence[PopulationSite],
     stage: StageKind,
     config: Optional[MFCConfig] = None,
     fleet_spec: Optional[FleetSpec] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache_path: Optional[Union[str, Path]] = None,
+    progress: bool = False,
 ) -> StudyResult:
     """Measure one stage against every site in a population.
 
     Each site gets its own deterministic world seeded from *seed* and
-    its id, so studies parallelize trivially and re-run exactly.
+    its index, so studies parallelize trivially and re-run exactly:
+    *jobs* > 1 fans the sites over worker processes and returns
+    measurements identical to the sequential path.  *cache_path*
+    points the underlying campaign at a JSONL result store, making an
+    interrupted study resumable and repeat runs free.
     """
     config = config if config is not None else MFCConfig()
     fleet_spec = fleet_spec if fleet_spec is not None else FleetSpec()
+    spec = CampaignSpec.for_study(
+        sites, stage, config=config, fleet_spec=fleet_spec, seed=seed
+    )
+    outcomes = run_campaign(
+        spec, jobs=jobs, store=cache_path, progress=progress
+    )
     result = StudyResult(stage=stage)
-    for index, site in enumerate(sites):
-        runner = MFCRunner.build(
-            site.scenario,
-            fleet_spec=fleet_spec,
-            config=config,
-            seed=seed * 1_000_003 + index,
-            stage_kinds=[stage],
-        )
-        mfc_result = runner.run()
-        if mfc_result.aborted or stage.value not in mfc_result.stages:
-            result.measurements.append(
-                SiteMeasurement(
-                    site_id=site.site_id,
-                    stratum=site.stratum,
-                    outcome=StageOutcome.SKIPPED,
-                    stopping_size=None,
-                )
-            )
-            continue
-        stage_result = mfc_result.stage(stage.value)
-        result.measurements.append(
-            SiteMeasurement(
-                site_id=site.site_id,
-                stratum=site.stratum,
-                outcome=stage_result.outcome,
-                stopping_size=stage_result.stopping_crowd_size,
-            )
-        )
+    for site, outcome in zip(sites, outcomes):
+        result.measurements.append(_measure(site, stage, outcome.result))
     return result

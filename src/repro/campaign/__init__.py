@@ -1,0 +1,46 @@
+"""Parallel experiment campaigns with a resumable result cache.
+
+The §5 study and every population benchmark are grids of fully
+independent, deterministic MFC worlds.  This package turns such grids
+into *campaigns*:
+
+- :mod:`repro.campaign.spec` — declarative grids expanded into
+  :class:`JobSpec` entries with stable SHA-256 job keys;
+- :mod:`repro.campaign.executor` — a process-pool executor with a
+  byte-identical sequential fallback;
+- :mod:`repro.campaign.store` — an append-only JSONL result store, so
+  interrupted campaigns resume without recomputation and repeated
+  benchmark runs hit cache;
+- :mod:`repro.campaign.codec` — JSON round-tripping of experiment
+  records at ``summary`` or ``full`` (epoch-level) detail;
+- :mod:`repro.campaign.progress` — progress/ETA reporting.
+"""
+
+from repro.campaign.codec import FULL, SUMMARY, decode_result, encode_result
+from repro.campaign.executor import JobOutcome, execute_job, run_campaign
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import (
+    SEED_STRIDE,
+    CampaignSpec,
+    JobSpec,
+    derive_site_seed,
+    stable_key,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "FULL",
+    "SUMMARY",
+    "SEED_STRIDE",
+    "CampaignSpec",
+    "JobOutcome",
+    "JobSpec",
+    "ProgressReporter",
+    "ResultStore",
+    "decode_result",
+    "derive_site_seed",
+    "encode_result",
+    "execute_job",
+    "run_campaign",
+    "stable_key",
+]

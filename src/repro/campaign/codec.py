@@ -1,0 +1,179 @@
+"""JSON codec for campaign job results.
+
+The result store keeps one JSON document per finished job.  Three
+result shapes are supported:
+
+- :class:`~repro.core.records.MFCResult` (scenario jobs),
+- :class:`~repro.core.records.StageResult` (callable jobs that return
+  a single stage),
+- any plain JSON-able value (callable jobs returning derived data,
+  e.g. the synchronization ablation's arrival offsets).
+
+Two detail levels trade storage for fidelity: ``"summary"`` keeps the
+per-stage verdicts (outcome, stopping sizes, timings) that the §5
+studies and the constraint-inference report consume; ``"full"`` also
+keeps every epoch and client report, so analyses that read raw epochs
+(the ablation harnesses) survive a cache round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from repro.core.records import (
+    ClientReport,
+    EpochLabel,
+    EpochResult,
+    MFCResult,
+    StageOutcome,
+    StageResult,
+)
+from repro.server.http import Status
+
+SUMMARY = "summary"
+FULL = "full"
+_DETAILS = (SUMMARY, FULL)
+
+
+def _encode_report(report: ClientReport) -> List:
+    return [
+        report.client_id,
+        report.status.value,
+        report.numbytes,
+        report.response_time_s,
+        report.normalized_s,
+    ]
+
+
+def _decode_report(row: List) -> ClientReport:
+    client_id, status, numbytes, response_time_s, normalized_s = row
+    return ClientReport(
+        client_id=client_id,
+        status=Status(status),
+        numbytes=numbytes,
+        response_time_s=response_time_s,
+        normalized_s=normalized_s,
+    )
+
+
+def _encode_epoch(epoch: EpochResult) -> Dict:
+    return {
+        "index": epoch.index,
+        "label": epoch.label.value,
+        "crowd_size": epoch.crowd_size,
+        "clients_used": epoch.clients_used,
+        "target_time": epoch.target_time,
+        "aggregate_normalized_s": epoch.aggregate_normalized_s,
+        "degraded": epoch.degraded,
+        "missing_reports": epoch.missing_reports,
+        "reports": [_encode_report(r) for r in epoch.reports],
+    }
+
+
+def _decode_epoch(doc: Dict) -> EpochResult:
+    return EpochResult(
+        index=doc["index"],
+        label=EpochLabel(doc["label"]),
+        crowd_size=doc["crowd_size"],
+        clients_used=doc["clients_used"],
+        target_time=doc["target_time"],
+        reports=[_decode_report(r) for r in doc["reports"]],
+        aggregate_normalized_s=doc["aggregate_normalized_s"],
+        degraded=doc["degraded"],
+        missing_reports=doc["missing_reports"],
+    )
+
+
+def _encode_stage(stage: StageResult, detail: str) -> Dict:
+    doc = {
+        "stage_name": stage.stage_name,
+        "outcome": stage.outcome.value,
+        "stopping_crowd_size": stage.stopping_crowd_size,
+        "earliest_degraded_crowd": stage.earliest_degraded_crowd,
+        "started_at": stage.started_at,
+        "ended_at": stage.ended_at,
+        "total_requests": stage.total_requests,
+        "reason": stage.reason,
+        "n_epochs": stage.epoch_count,
+        "max_crowd_tested": stage.largest_crowd,
+    }
+    if detail == FULL:
+        doc["epochs"] = [_encode_epoch(e) for e in stage.epochs]
+    return doc
+
+
+def _decode_stage(doc: Dict) -> StageResult:
+    epochs = [_decode_epoch(e) for e in doc.get("epochs", [])]
+    return StageResult(
+        stage_name=doc["stage_name"],
+        outcome=StageOutcome(doc["outcome"]),
+        stopping_crowd_size=doc["stopping_crowd_size"],
+        earliest_degraded_crowd=doc["earliest_degraded_crowd"],
+        epochs=epochs,
+        started_at=doc["started_at"],
+        ended_at=doc["ended_at"],
+        total_requests=doc["total_requests"],
+        reason=doc["reason"],
+        # with the epochs present these are derivable; pin them only
+        # for summary records whose epoch list was dropped
+        max_crowd_tested=None if epochs else doc["max_crowd_tested"],
+        n_epochs_recorded=None if epochs else doc["n_epochs"],
+    )
+
+
+def encode_result(
+    value: Union[MFCResult, StageResult, object], detail: str = SUMMARY
+) -> Dict:
+    """Encode a job's return value into a storable JSON document."""
+    if detail not in _DETAILS:
+        raise ValueError(f"detail must be one of {_DETAILS}: {detail!r}")
+    if isinstance(value, MFCResult):
+        return {
+            "kind": "mfc-result",
+            "target_name": value.target_name,
+            "stages": {
+                name: _encode_stage(stage, detail)
+                for name, stage in value.stages.items()
+            },
+            "live_clients": value.live_clients,
+            "aborted": value.aborted,
+            "abort_reason": value.abort_reason,
+            "total_requests": value.total_requests,
+            "started_at": value.started_at,
+            "ended_at": value.ended_at,
+        }
+    if isinstance(value, StageResult):
+        return {"kind": "stage-result", "stage": _encode_stage(value, detail)}
+    # anything else must already be JSON-able
+    try:
+        json.dumps(value)
+    except TypeError as exc:
+        raise TypeError(
+            f"job returned a non-storable {type(value).__name__}; return an "
+            "MFCResult, a StageResult, or plain JSON-able data"
+        ) from exc
+    return {"kind": "value", "value": value}
+
+
+def decode_result(doc: Dict) -> Union[MFCResult, StageResult, object]:
+    """Rebuild the stored value (records become real dataclasses)."""
+    kind = doc["kind"]
+    if kind == "mfc-result":
+        return MFCResult(
+            target_name=doc["target_name"],
+            stages={
+                name: _decode_stage(stage) for name, stage in doc["stages"].items()
+            },
+            live_clients=doc["live_clients"],
+            aborted=doc["aborted"],
+            abort_reason=doc["abort_reason"],
+            total_requests=doc["total_requests"],
+            started_at=doc["started_at"],
+            ended_at=doc["ended_at"],
+        )
+    if kind == "stage-result":
+        return _decode_stage(doc["stage"])
+    if kind == "value":
+        return doc["value"]
+    raise ValueError(f"unknown stored result kind: {kind!r}")

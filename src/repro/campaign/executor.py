@@ -1,0 +1,187 @@
+"""Campaign execution: sequential fallback and a process pool.
+
+Every job rebuilds its world from scratch inside ``execute_job`` with
+an explicit seed, so a job's result is a pure function of its
+:class:`~repro.campaign.spec.JobSpec` — running jobs in parallel, in
+any order, or resuming from a half-finished store yields results
+identical to the sequential loop.
+
+The parent process is the only writer of the result store: workers
+return encoded results over the pool's pipe and the parent appends
+them as they complete, so an interrupted campaign keeps every job
+finished before the kill.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.codec import SUMMARY, decode_result, encode_result
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import ResultStore
+from repro.core.runner import MFCRunner
+
+
+@dataclass
+class JobOutcome:
+    """One job's result, decoded, plus how it was obtained."""
+
+    job: JobSpec
+    result: object
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def meta(self) -> Dict:
+        return self.job.meta
+
+
+def execute_job(job: JobSpec, detail: str = SUMMARY) -> Dict:
+    """Run one job in this process; return the encoded result."""
+    if job.func is not None:
+        module_name, _, func_name = job.func.partition(":")
+        func = getattr(importlib.import_module(module_name), func_name)
+        return encode_result(func(**job.kwargs), detail)
+    runner = MFCRunner.build(
+        job.scenario,
+        fleet_spec=job.fleet_spec,
+        config=job.config,
+        seed=job.seed,
+        stage_kinds=list(job.stage_kinds) if job.stage_kinds is not None else None,
+        **job.runner_kwargs,
+    )
+    return encode_result(runner.run(time_limit_s=job.time_limit_s), detail)
+
+
+def _pool_worker(job: JobSpec, detail: str) -> Tuple[str, Dict, float]:
+    """Process-pool entry point: (key, encoded result, elapsed)."""
+    started = time.monotonic()
+    encoded = execute_job(job, detail)
+    return job.key, encoded, time.monotonic() - started
+
+
+def _record(job: JobSpec, encoded: Dict, detail: str, elapsed_s: float) -> Dict:
+    return {
+        "key": job.key,
+        "job_id": job.job_id,
+        "meta": job.meta,
+        "detail": detail,
+        "elapsed_s": round(elapsed_s, 3),
+        "result": encoded,
+    }
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, Sequence[JobSpec]],
+    jobs: Optional[int] = None,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    detail: str = SUMMARY,
+    progress: Union[bool, ProgressReporter] = False,
+) -> List[JobOutcome]:
+    """Run every job of *spec*; return outcomes in campaign order.
+
+    *jobs* > 1 fans pending work over a ``ProcessPoolExecutor``;
+    ``None``/1 runs the sequential fallback in this process — the two
+    paths produce identical results because every job world is
+    deterministic in its spec.  *store* (a :class:`ResultStore` or a
+    JSONL path) makes the campaign resumable: jobs whose key is
+    already stored are returned from cache without recomputation.
+    Jobs sharing a key (identical parameters) execute once.
+    """
+    if isinstance(spec, CampaignSpec):
+        job_list = spec.expand()
+        label = spec.name
+    else:
+        job_list = list(spec)
+        label = "campaign"
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    fresh: List[JobSpec] = []  # first job per not-yet-stored key
+    seen_keys = set()
+    for job in job_list:
+        if job.key in seen_keys or store.get(job.key, detail) is not None:
+            continue
+        seen_keys.add(job.key)
+        fresh.append(job)
+
+    reporter: Optional[ProgressReporter]
+    if isinstance(progress, ProgressReporter):
+        reporter = progress
+    elif progress:
+        reporter = ProgressReporter(total=len(job_list), label=label)
+    else:
+        reporter = None
+    if reporter is not None:
+        reporter.start(cached=len(job_list) - len(fresh))
+
+    if jobs is not None and jobs > 1 and len(fresh) > 1:
+        _run_pool(fresh, jobs, store, detail, reporter)
+    else:
+        for job in fresh:
+            started = time.monotonic()
+            encoded = execute_job(job, detail)
+            store.append(_record(job, encoded, detail, time.monotonic() - started))
+            if reporter is not None:
+                reporter.job_done()
+    if reporter is not None:
+        reporter.finish()
+
+    executed_ids = {id(job) for job in fresh}
+    outcomes: List[JobOutcome] = []
+    for job in job_list:
+        record = store.get(job.key, detail)
+        if record is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"job {job.job_id!r} finished without a record")
+        outcomes.append(
+            JobOutcome(
+                job=job,
+                result=decode_result(record["result"]),
+                elapsed_s=record.get("elapsed_s", 0.0),
+                cached=id(job) not in executed_ids,
+            )
+        )
+    return outcomes
+
+
+def _run_pool(
+    pending: List[JobSpec],
+    max_workers: int,
+    store: ResultStore,
+    detail: str,
+    reporter: Optional[ProgressReporter],
+) -> None:
+    """Fan *pending* over worker processes, committing as they land.
+
+    On a job failure the queued-but-unstarted jobs are cancelled, but
+    every job that completes — including in-flight ones the pool must
+    wait out — is still committed to the store before the failure
+    propagates, so a resume after the fix re-runs only what never
+    finished.
+    """
+    by_key = {job.key: job for job in pending}
+    first_error: Optional[BaseException] = None
+    with ProcessPoolExecutor(max_workers=min(max_workers, len(pending))) as pool:
+        futures = {pool.submit(_pool_worker, job, detail) for job in pending}
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    key, encoded, elapsed = future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = exc
+                        for queued in futures:
+                            queued.cancel()
+                    continue
+                store.append(_record(by_key[key], encoded, detail, elapsed))
+                if reporter is not None:
+                    reporter.job_done()
+    if first_error is not None:
+        raise first_error

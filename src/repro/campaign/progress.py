@@ -1,0 +1,90 @@
+"""Campaign progress and ETA reporting.
+
+A :class:`ProgressReporter` prints throttled one-line updates as jobs
+finish.  The ETA is the mean wall-clock cost of the jobs *executed
+this run* (cache hits are free and excluded) times the jobs still
+pending — good enough for grids whose jobs are statistically alike,
+which campaign grids are by construction.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Throttled progress lines for one campaign run."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "campaign",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 1.0,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.cached = 0
+        self.executed = 0
+        self._started = time.monotonic()
+        self._last_emit = 0.0
+
+    def start(self, cached: int) -> None:
+        """Announce the run; *cached* jobs are already in the store."""
+        self.done = self.cached = cached
+        self._started = time.monotonic()
+        if cached:
+            self._write(
+                f"{self.label}: {cached}/{self.total} jobs already cached, "
+                f"running {self.total - cached}"
+            )
+        else:
+            self._write(f"{self.label}: running {self.total} jobs")
+
+    def job_done(self) -> None:
+        """One job finished executing (not a cache hit)."""
+        self.done += 1
+        self.executed += 1
+        now = time.monotonic()
+        if now - self._last_emit < self.min_interval_s and self.done < self.total:
+            return
+        self._last_emit = now
+        elapsed = now - self._started
+        rate = elapsed / self.executed if self.executed else 0.0
+        remaining = self.total - self.done
+        eta = f", ETA {_fmt_seconds(rate * remaining)}" if remaining else ""
+        self._write(
+            f"{self.label}: {self.done}/{self.total} done "
+            f"({self.cached} cached), {_fmt_seconds(elapsed)} elapsed{eta}"
+        )
+
+    def finish(self) -> None:
+        """Final summary line."""
+        elapsed = time.monotonic() - self._started
+        self._write(
+            f"{self.label}: finished {self.total} jobs "
+            f"({self.executed} executed, {self.cached} cached) "
+            f"in {_fmt_seconds(elapsed)}"
+        )
+
+    def _write(self, text: str) -> None:
+        print(text, file=self.stream)
+        try:
+            self.stream.flush()
+        except (AttributeError, ValueError):
+            pass

@@ -1,0 +1,264 @@
+"""Declarative experiment campaigns.
+
+A *campaign* is a grid of independent MFC jobs — scenario × stage ×
+config-variant × seed — expanded into :class:`JobSpec` entries whose
+order and seeding are deterministic.  Each job carries everything a
+worker process needs to rebuild its world from scratch, plus a
+*stable key*: a SHA-256 over a canonical encoding of the
+execution-relevant parameters.  The key is what makes campaigns
+resumable — an interrupted run skips every job whose key is already in
+the result store, and repeated benchmark runs hit cache.
+
+Two job payloads exist:
+
+- **scenario jobs** rebuild an :class:`~repro.core.runner.MFCRunner`
+  world (the §4/§5 experiments);
+- **callable jobs** name a module-level function (``"pkg.mod:func"``)
+  and JSON-able kwargs — the escape hatch for hand-built worlds such
+  as the ablation harnesses, which assemble synthetic servers the
+  scenario vocabulary cannot express.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import __version__
+from repro.content.site import SiteContent
+from repro.core.config import MFCConfig
+from repro.core.stages import StageKind
+from repro.server.presets import Scenario
+from repro.workload.fleet import FleetSpec
+from repro.workload.populations import PopulationSite
+
+#: per-site seed stride — the historical ``run_stage_study`` formula
+#: ``seed * 1_000_003 + site_index``; campaigns must reproduce it so a
+#: parallel study returns byte-identical measurements
+SEED_STRIDE = 1_000_003
+
+
+def derive_site_seed(base_seed: int, site_index: int) -> int:
+    """The study driver's per-site world seed."""
+    return base_seed * SEED_STRIDE + site_index
+
+
+#: display-only dataclass fields excluded from job keys, so editing
+#: them never invalidates cached results
+_COSMETIC_FIELDS = {"Scenario": {"notes"}}
+
+
+def _canonical(obj):
+    """Reduce *obj* to a JSON-able form that is stable across runs.
+
+    Only data that changes execution belongs here: dataclass specs,
+    enums, site content, containers and primitives (cosmetic fields
+    like ``Scenario.notes`` are skipped).  Floats pass through
+    untouched — ``json.dumps`` renders them via ``repr``, which
+    round-trips exactly.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        skip = _COSMETIC_FIELDS.get(type(obj).__name__, ())
+        return {
+            "__dc__": type(obj).__name__,
+            **{
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+                if f.name not in skip
+            },
+        }
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": type(obj).__name__, "value": obj.value}
+    if isinstance(obj, SiteContent):
+        return {
+            "__site__": obj.base_page,
+            "objects": [_canonical(o) for o in obj.objects()],
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a job key")
+
+
+def stable_key(obj) -> str:
+    """SHA-256 hex digest of the canonical encoding of *obj*."""
+    encoded = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobSpec:
+    """One independent unit of campaign work."""
+
+    job_id: str
+    #: scenario-job payload
+    scenario: Optional[Scenario] = None
+    stage_kinds: Optional[Tuple[StageKind, ...]] = None
+    config: Optional[MFCConfig] = None
+    fleet_spec: Optional[FleetSpec] = None
+    seed: int = 0
+    #: extra MFCRunner.build knobs (use_naive_scheduling, ...)
+    runner_kwargs: Dict = field(default_factory=dict)
+    time_limit_s: float = 1e7
+    #: callable-job payload: ``"package.module:function"``
+    func: Optional[str] = None
+    kwargs: Dict = field(default_factory=dict)
+    #: passthrough labels (site_id, stratum, ...) — never hashed
+    meta: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.scenario is None) == (self.func is None):
+            raise ValueError(
+                f"job {self.job_id!r} needs exactly one of scenario= or func="
+            )
+        if self.func is not None and ":" not in self.func:
+            raise ValueError(f"func must look like 'pkg.mod:callable': {self.func!r}")
+
+    @property
+    def key(self) -> str:
+        """Stable identity of this job's execution parameters."""
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = stable_key(
+                {
+                    # simulator behaviour can change between releases;
+                    # versioning the key keeps old stores from silently
+                    # replaying stale results (wipe the store, or bump
+                    # __version__, after behavioural changes mid-release)
+                    "repro_version": __version__,
+                    "scenario": self.scenario,
+                    "stage_kinds": self.stage_kinds,
+                    "config": self.config,
+                    "fleet_spec": self.fleet_spec,
+                    "seed": self.seed,
+                    "runner_kwargs": self.runner_kwargs,
+                    "time_limit_s": self.time_limit_s,
+                    "func": self.func,
+                    "kwargs": self.kwargs,
+                }
+            )
+            self.__dict__["_key"] = cached
+        return cached
+
+
+ScenarioLike = Union[PopulationSite, Tuple[str, Scenario], Scenario]
+
+
+def _normalize_scenarios(
+    scenarios: Sequence[ScenarioLike],
+) -> List[Tuple[str, Scenario, Dict]]:
+    """(scenario_id, scenario, extra-meta) triples in input order."""
+    rows: List[Tuple[str, Scenario, Dict]] = []
+    for entry in scenarios:
+        if isinstance(entry, PopulationSite):
+            rows.append(
+                (
+                    entry.site_id,
+                    entry.scenario,
+                    {"site_id": entry.site_id, "stratum": entry.stratum},
+                )
+            )
+        elif isinstance(entry, Scenario):
+            rows.append((entry.name, entry, {}))
+        else:
+            sid, scenario = entry
+            rows.append((sid, scenario, {}))
+    return rows
+
+
+@dataclass
+class CampaignSpec:
+    """A named, fully expanded list of jobs."""
+
+    name: str
+    jobs: List[JobSpec] = field(default_factory=list)
+
+    def expand(self) -> List[JobSpec]:
+        """The jobs, in deterministic campaign order."""
+        return list(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        scenarios: Sequence[ScenarioLike],
+        stages: Sequence[StageKind],
+        variants: Sequence[Tuple[str, Optional[MFCConfig]]] = (("default", None),),
+        seeds: Sequence[int] = (0,),
+        fleet_spec: Optional[FleetSpec] = None,
+        per_site_seeding: bool = True,
+        runner_kwargs: Optional[Dict] = None,
+        time_limit_s: float = 1e7,
+    ) -> "CampaignSpec":
+        """Expand seeds × variants × stages × scenarios into jobs.
+
+        Scenario entries may be :class:`PopulationSite` objects,
+        ``(id, Scenario)`` pairs, or bare scenarios.  With
+        *per_site_seeding* (the default) each job's world seed is
+        ``base_seed * SEED_STRIDE + scenario_index`` — exactly the
+        historical study seeding — otherwise the base seed is used
+        unchanged for every scenario.
+        """
+        rows = _normalize_scenarios(scenarios)
+        jobs: List[JobSpec] = []
+        for base_seed in seeds:
+            for variant_name, config in variants:
+                for stage in stages:
+                    for index, (sid, scenario, extra) in enumerate(rows):
+                        jobs.append(
+                            JobSpec(
+                                job_id=(
+                                    f"{sid}|{stage.value}|{variant_name}"
+                                    f"|seed{base_seed}"
+                                ),
+                                scenario=scenario,
+                                stage_kinds=(stage,),
+                                config=config,
+                                fleet_spec=fleet_spec,
+                                seed=(
+                                    derive_site_seed(base_seed, index)
+                                    if per_site_seeding
+                                    else base_seed
+                                ),
+                                runner_kwargs=dict(runner_kwargs or {}),
+                                time_limit_s=time_limit_s,
+                                meta={
+                                    "scenario_id": sid,
+                                    "stage": stage.value,
+                                    "variant": variant_name,
+                                    "base_seed": base_seed,
+                                    "index": index,
+                                    **extra,
+                                },
+                            )
+                        )
+        return cls(name=name, jobs=jobs)
+
+    @classmethod
+    def for_study(
+        cls,
+        sites: Sequence[PopulationSite],
+        stage: StageKind,
+        config: Optional[MFCConfig] = None,
+        fleet_spec: Optional[FleetSpec] = None,
+        seed: int = 0,
+    ) -> "CampaignSpec":
+        """The §5 study as a campaign: one stage over a population."""
+        return cls.grid(
+            name=f"study-{stage.value}-seed{seed}",
+            scenarios=sites,
+            stages=(stage,),
+            seeds=(seed,),
+            fleet_spec=fleet_spec,
+            variants=(("study", config),),
+        )

@@ -1,0 +1,93 @@
+"""Resumable JSONL result store.
+
+One line per finished job:
+
+    {"key": <sha256>, "job_id": ..., "meta": {...}, "detail": ...,
+     "elapsed_s": ..., "result": {...}}
+
+Appending a line is the commit point — a campaign killed mid-job
+loses only that job, and a line truncated by the kill is skipped on
+the next load, so resuming is always safe.  A ``"full"``-detail
+record satisfies a ``"summary"`` lookup (it is a superset); when both
+exist for one key, the fuller record wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.campaign.codec import FULL
+
+
+class ResultStore:
+    """Append-only JSONL cache keyed by stable job hash.
+
+    ``path=None`` gives an in-memory store: same interface, nothing
+    persisted — the executor uses one when no cache file is wanted.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: Dict[str, Dict] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # a kill mid-append leaves one torn trailing line;
+                    # everything before it is intact
+                    continue
+                if not isinstance(record, dict) or "key" not in record:
+                    continue
+                self._remember(record)
+
+    def _remember(self, record: Dict) -> None:
+        existing = self._records.get(record["key"])
+        if existing is not None and existing.get("detail") == FULL:
+            return  # never downgrade a full record
+        self._records[record["key"]] = record
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str, detail: str) -> Optional[Dict]:
+        """The stored record for *key*, if its detail level suffices."""
+        record = self._records.get(key)
+        if record is None:
+            return None
+        if record.get("detail") == detail or record.get("detail") == FULL:
+            return record
+        return None
+
+    def records(self) -> Iterator[Dict]:
+        """All live records (deduplicated by key)."""
+        return iter(self._records.values())
+
+    # -- append ---------------------------------------------------------------
+
+    def append(self, record: Dict) -> None:
+        """Persist one finished job (the durable commit point)."""
+        self._remember(record)
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, separators=(",", ":"))
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())

@@ -4,9 +4,13 @@
     python -m repro run qtnp --threshold-ms 100 --max-crowd 55 --seed 1
     python -m repro run univ3 --mr 2 --threshold-ms 250 --background 20.3
     python -m repro run univ2 --mr 2 --threshold-ms 250 --stage Base
+    python -m repro run qtnp --jobs 3 --cache /tmp/qtnp.jsonl
+    python -m repro campaign quantcast --scale 0.1 --jobs 8 --cache /tmp/qc.jsonl
 
-Prints the experiment summary and the inferred constraint report, and
-exits non-zero if the experiment aborted (e.g. too few live clients).
+``run`` prints the experiment summary and the inferred constraint
+report, and exits non-zero if the experiment aborted (e.g. too few
+live clients).  ``campaign`` measures a whole generated population
+(the paper's §5 study) through the parallel campaign engine.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.core.config import MFCConfig
 from repro.core.inference import infer_constraints
 from repro.core.runner import MFCRunner
@@ -34,6 +40,8 @@ SCENARIOS = {
 }
 
 STAGE_NAMES = {kind.value.lower(): kind for kind in StageKind}
+
+POPULATIONS = ("quantcast", "startups", "phishing")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,9 +76,48 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--background", type=float, default=None,
                      help="override background traffic (requests/second)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="run each stage as its own world, N in parallel "
+                          "(any value, even 1, switches to per-stage "
+                          "worlds; default: all stages share one world)")
+    run.add_argument("--cache", default=None, metavar="PATH",
+                     help="JSONL result store for --jobs runs (requires "
+                          "--jobs): finished stages are never recomputed")
     run.add_argument("--quiet", action="store_true",
                      help="print only the one-line stage outcomes")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="measure a generated §5 population through the campaign engine",
+    )
+    campaign.add_argument("population", choices=POPULATIONS)
+    campaign.add_argument("--stage", action="append", default=None,
+                          choices=sorted(STAGE_NAMES),
+                          help="stage(s) to measure (repeatable; default: base)")
+    campaign.add_argument("--scale", type=float, default=0.1,
+                          help="population scale vs the paper's site counts "
+                               "(default 0.1)")
+    campaign.add_argument("--threshold-ms", type=float, default=100.0,
+                          help="θ degradation threshold (default 100)")
+    campaign.add_argument("--max-crowd", type=int, default=50,
+                          help="crowd-size cap in requests (default 50)")
+    campaign.add_argument("--clients", type=int, default=60,
+                          help="fleet size per site world (default 60)")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes (default: sequential)")
+    campaign.add_argument("--cache", default=None, metavar="PATH",
+                          help="JSONL result store: an interrupted campaign "
+                               "resumes from it without recomputation")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress progress reporting")
     return parser
+
+
+def _default_min_clients(clients: int) -> int:
+    """The paper's 50-client floor, clamped so small fleets (with
+    their PlanetLab-like flaky fraction) still run."""
+    return min(50, max(1, int(clients * 0.75)))
 
 
 def _build_config(args) -> MFCConfig:
@@ -79,12 +126,10 @@ def _build_config(args) -> MFCConfig:
         max_crowd=args.max_crowd,
         crowd_step=args.step,
         initial_crowd=args.step,
-        # the paper's 50-client floor, clamped so small `--clients`
-        # fleets (with their PlanetLab-like flaky fraction) still run
         min_clients=(
             args.min_clients
             if args.min_clients is not None
-            else min(50, max(1, int(args.clients * 0.75)))
+            else _default_min_clients(args.clients)
         ),
     )
     if args.mr > 1:
@@ -99,10 +144,20 @@ def _build_config(args) -> MFCConfig:
     return config
 
 
+def _describe_scenario(scenario) -> str:
+    """One-line server model: boxes × spec @ access bandwidth."""
+    spec = scenario.server_spec
+    model = (
+        f"{scenario.n_servers}x {spec.name} "
+        f"({spec.cpu_cores} core, {scenario.server_access_bps * 8 / 1e6:.0f} Mbps)"
+    )
+    return f"{model:<38} {scenario.notes or scenario.name}"
+
+
 def cmd_list(_args) -> int:
     for name in sorted(SCENARIOS):
         scenario = SCENARIOS[name]()
-        print(f"{name:<12} {scenario.notes or scenario.name}")
+        print(f"{name:<12} {_describe_scenario(scenario)}")
     return 0
 
 
@@ -113,6 +168,15 @@ def cmd_run(args) -> int:
     stage_kinds = (
         [STAGE_NAMES[s] for s in args.stage] if args.stage else None
     )
+    # --jobs (any value, even 1) selects the per-stage campaign path,
+    # so sweeping N never changes experiment semantics; the shared
+    # single-world path has no job grid, so --cache alone is an error
+    # rather than a silent switch to per-stage worlds
+    if args.cache is not None and args.jobs is None:
+        print("repro run: --cache requires --jobs", file=sys.stderr)
+        return 2
+    if args.jobs is not None:
+        return _run_stages_campaign(args, scenario, stage_kinds)
     runner = MFCRunner.build(
         scenario,
         fleet_spec=FleetSpec(n_clients=args.clients),
@@ -131,11 +195,127 @@ def cmd_run(args) -> int:
     return 1 if result.aborted else 0
 
 
+def _run_stages_campaign(args, scenario, stage_kinds) -> int:
+    """``run --jobs N``: each stage in its own world, N in parallel.
+
+    Unlike the default single-world run, the stages do not share
+    server state (warm caches etc.) — each result matches a
+    single-``--stage`` invocation with the same seed.
+    """
+    kinds = stage_kinds if stage_kinds else list(StageKind)
+    config = _build_config(args)
+    job_specs = [
+        JobSpec(
+            job_id=f"{args.scenario}|{kind.value}|seed{args.seed}",
+            scenario=scenario,
+            stage_kinds=(kind,),
+            config=config,
+            fleet_spec=FleetSpec(n_clients=args.clients),
+            seed=args.seed,
+        )
+        for kind in kinds
+    ]
+    spec = CampaignSpec(name=f"run-{args.scenario}", jobs=job_specs)
+    outcomes = run_campaign(
+        spec, jobs=args.jobs, store=args.cache, progress=not args.quiet
+    )
+    # merge the per-stage worlds into one result so the default output
+    # (summary + constraint report) matches the sequential path's shape
+    from repro.core.records import MFCResult
+
+    merged = MFCResult(target_name=scenario.name)
+    for kind, outcome in zip(kinds, outcomes):
+        result = outcome.result
+        if result.aborted:
+            merged.aborted = True
+            merged.abort_reason = result.abort_reason
+        elif kind.value in result.stages:
+            merged.stages[kind.value] = result.stage(kind.value)
+            merged.live_clients = max(merged.live_clients, result.live_clients)
+            merged.total_requests += result.total_requests
+    if args.quiet:
+        for kind, outcome in zip(kinds, outcomes):
+            if outcome.result.aborted:
+                print(f"{kind.value}\tABORTED: {outcome.result.abort_reason}")
+            elif kind.value in outcome.result.stages:
+                print(f"{kind.value}\t{merged.stage(kind.value).describe()}")
+            else:
+                print(f"{kind.value}\tskipped (no qualifying object)")
+    else:
+        print(merged.summary())
+        print()
+        print(infer_constraints(merged).summary())
+    return 1 if merged.aborted else 0
+
+
+def cmd_campaign(args) -> int:
+    # imported here so `repro list`/`run` stay import-light
+    from repro.analysis import run_stage_study
+    from repro.analysis.tables import TextTable
+    from repro.workload.populations import (
+        generate_population,
+        phishing_population,
+        quantcast_strata,
+        startup_population,
+    )
+
+    strata_by_name = {
+        "quantcast": quantcast_strata,
+        "startups": startup_population,
+        "phishing": phishing_population,
+    }
+    sites = generate_population(
+        strata_by_name[args.population](scale=args.scale), seed=args.seed
+    )
+    config = MFCConfig(
+        threshold_s=args.threshold_ms / 1000.0,
+        max_crowd=args.max_crowd,
+        min_clients=_default_min_clients(args.clients),
+    )
+    fleet_spec = FleetSpec(n_clients=args.clients, unresponsive_fraction=0.05)
+    stages = (
+        [STAGE_NAMES[s] for s in args.stage]
+        if args.stage
+        else [StageKind.BASE]
+    )
+    for stage in stages:
+        result = run_stage_study(
+            sites,
+            stage,
+            config=config,
+            fleet_spec=fleet_spec,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache_path=args.cache,
+            progress=not args.quiet,
+        )
+        table = TextTable(
+            ["stratum", "measured", "degraded", "stop <=20", "stop <=50"],
+            title=(
+                f"{args.population} population, {stage.value} stage "
+                f"({len(sites)} sites, seed {args.seed})"
+            ),
+        )
+        for stratum in result.strata():
+            table.add_row(
+                stratum,
+                result.measured_count(stratum),
+                f"{result.degraded_fraction(stratum) * 100:.0f}%",
+                f"{result.fraction_stopping_at_or_below(20, stratum) * 100:.0f}%",
+                f"{result.fraction_stopping_at_or_below(50, stratum) * 100:.0f}%",
+            )
+        print(table.render())
+        print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     return cmd_run(args)
 
 

@@ -86,11 +86,30 @@ class StageResult:
     ended_at: float = 0.0
     total_requests: int = 0
     reason: str = ""
+    #: largest crowd actually scheduled / number of epochs run; derived
+    #: from the epochs when unset, carried explicitly by summary-detail
+    #: cache records whose epoch list has been dropped
+    max_crowd_tested: Optional[int] = None
+    n_epochs_recorded: Optional[int] = None
 
     @property
     def duration_s(self) -> float:
         """Wall-clock (simulated) stage duration."""
         return self.ended_at - self.started_at
+
+    @property
+    def largest_crowd(self) -> int:
+        """Largest crowd size this stage scheduled."""
+        if self.max_crowd_tested is not None:
+            return self.max_crowd_tested
+        return max((e.crowd_size for e in self.epochs), default=0)
+
+    @property
+    def epoch_count(self) -> int:
+        """Number of epochs the stage ran."""
+        if self.n_epochs_recorded is not None:
+            return self.n_epochs_recorded
+        return len(self.epochs)
 
     def crowd_series(self) -> List[tuple]:
         """``(crowd_size, aggregate_normalized_s)`` per normal epoch —
@@ -106,8 +125,7 @@ class StageResult:
         if self.outcome is StageOutcome.STOPPED:
             return str(self.stopping_crowd_size)
         if self.outcome is StageOutcome.NO_STOP:
-            max_crowd = max((e.crowd_size for e in self.epochs), default=0)
-            return f"NoStop ({max_crowd})"
+            return f"NoStop ({self.largest_crowd})"
         return self.outcome.value
 
 
@@ -140,6 +158,6 @@ class MFCResult:
         for name, stage in self.stages.items():
             lines.append(
                 f"  {name:<14} {stage.describe():<12} "
-                f"({len(stage.epochs)} epochs, {stage.duration_s:.0f}s)"
+                f"({stage.epoch_count} epochs, {stage.duration_s:.0f}s)"
             )
         return "\n".join(lines)

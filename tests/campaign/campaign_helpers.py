@@ -1,0 +1,14 @@
+"""Importable callables for the callable-job tests.
+
+Lives beside the test module (pytest puts this directory on
+``sys.path``) so worker processes can import it by name.
+"""
+
+
+def double(x):
+    """A trivially verifiable JSON-able job payload."""
+    return {"doubled": x * 2}
+
+
+def boom():
+    raise RuntimeError("job failure propagates to the caller")

@@ -12,6 +12,16 @@ def test_list_prints_all_scenarios(capsys):
         assert name in out
 
 
+def test_list_describes_server_model_and_notes(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    # one-line description: server model (boxes, cores, access link)
+    # plus the scenario notes
+    assert "16x qtp (8 core, 10000 Mbps)" in out
+    assert "Table 1 target." in out
+    assert "Figure 5/6 validation target" in out
+
+
 def test_run_quiet_prints_stage_lines(capsys):
     code = main([
         "run", "qtnp", "--max-crowd", "15", "--clients", "55",
@@ -67,6 +77,45 @@ def test_run_background_override(capsys):
         "--clients", "55", "--stage", "base", "--quiet", "--seed", "6",
     ])
     assert code == 0
+
+
+def test_run_jobs_matches_sequential_single_stage(capsys, tmp_path):
+    args = ["run", "qtnp", "--max-crowd", "15", "--clients", "55",
+            "--stage", "base", "--quiet", "--seed", "1"]
+    assert main(args) == 0
+    sequential = capsys.readouterr().out
+    cache = str(tmp_path / "run.jsonl")
+    assert main(args + ["--jobs", "2", "--cache", cache]) == 0
+    assert capsys.readouterr().out == sequential
+    # cached re-run prints the same outcome without recomputing
+    assert main(args + ["--jobs", "2", "--cache", cache]) == 0
+    assert capsys.readouterr().out == sequential
+
+
+def test_run_cache_without_jobs_is_rejected(capsys, tmp_path):
+    # --cache has no meaning on the shared-single-world path; demanding
+    # --jobs avoids silently switching to per-stage worlds
+    code = main(["run", "qtnp", "--cache", str(tmp_path / "c.jsonl")])
+    assert code == 2
+    assert "--cache requires --jobs" in capsys.readouterr().err
+
+
+def test_campaign_runs_and_resumes(capsys, tmp_path):
+    cache = str(tmp_path / "phishing.jsonl")
+    args = ["campaign", "phishing", "--scale", "0.02", "--max-crowd", "20",
+            "--clients", "55", "--seed", "3", "--quiet", "--cache", cache]
+    assert main(args + ["--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "phishing population, Base stage" in out
+    assert "stratum" in out
+    # every job is now cached: the repeat run reports identically
+    assert main(args) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_parser_rejects_unknown_population():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "nonexistent"])
 
 
 def test_parser_rejects_unknown_scenario():
