@@ -37,6 +37,9 @@ SCENARIOS = {
     "univ1": presets.univ1_server,
     "univ2": presets.univ2_server,
     "univ3": presets.univ3_server,
+    "flash-sale": presets.cdn_flash_sale,
+    "api-micro": presets.api_microservice,
+    "budget-vps": presets.budget_vps,
 }
 
 STAGE_NAMES = {kind.value.lower(): kind for kind in StageKind}
@@ -111,6 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
                                "resumes from it without recomputation")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress progress reporting")
+
+    perf = sub.add_parser(
+        "perf",
+        help="benchmark the simulation substrate and compare to baseline",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="small CI-smoke sizes (minutes -> seconds)")
+    perf.add_argument("--out", default="benchmarks/results", metavar="DIR",
+                      help="directory for BENCH_kernel.json / BENCH_world.json "
+                           "(default benchmarks/results)")
+    perf.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file to compare against "
+                           "(default <out>/BENCH_baseline.json)")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help="record this run as the new baseline")
     return parser
 
 
@@ -309,6 +327,66 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    # imported here so `repro list`/`run` stay import-light
+    import os
+
+    from repro.perf import (
+        BASELINE_FILENAME,
+        compare_to_baseline,
+        load_bench_file,
+        run_kernel_suite,
+        run_world_suite,
+        write_bench_file,
+    )
+    from repro.perf.baseline import render_comparison
+
+    print("repro perf: measuring kernel + allocator ...", flush=True)
+    kernel = run_kernel_suite(quick=args.quick)
+    print("repro perf: measuring end-to-end world ...", flush=True)
+    world = run_world_suite(quick=args.quick)
+    benches = {**kernel, **world}
+
+    write_bench_file(os.path.join(args.out, "BENCH_kernel.json"), kernel)
+    write_bench_file(os.path.join(args.out, "BENCH_world.json"), world)
+    baseline_path = (
+        args.baseline
+        if args.baseline is not None
+        else os.path.join(args.out, BASELINE_FILENAME)
+    )
+    if args.update_baseline:
+        existing = load_bench_file(baseline_path) or {}
+        existing.update(benches)
+        write_bench_file(baseline_path, existing)
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    baseline = load_bench_file(baseline_path)
+    rows = compare_to_baseline(benches, baseline)
+    print(render_comparison(rows))
+    drifted = [r["key"] for r in rows if r["fingerprint_match"] is False]
+    if drifted:
+        print(
+            "determinism drift vs baseline in: " + ", ".join(drifted),
+            file=sys.stderr,
+        )
+        return 1
+    checked = [r["key"] for r in rows if r["fingerprint_match"] is True]
+    if baseline is not None and not checked:
+        # fail closed: a baseline exists but no fingerprinted bench was
+        # comparable (params changed / bench renamed without
+        # --update-baseline), i.e. the determinism guard checked nothing
+        print(
+            "no fingerprinted bench matched a baseline entry; "
+            f"refresh {baseline_path} with --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; record one with --update-baseline")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -316,6 +394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_list(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "perf":
+        return cmd_perf(args)
     return cmd_run(args)
 
 

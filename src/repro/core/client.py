@@ -81,7 +81,7 @@ class MFCClient:
     def measure_target_rtt(self) -> Generator:
         """Process body: ping the target, record and return the RTT."""
         rtt = self.node.latency_to_target.sample_rtt()
-        yield self.sim.timeout(rtt)
+        yield rtt
         self.measured_target_rtt = rtt
         return rtt
 
@@ -92,7 +92,7 @@ class MFCClient:
             # a timed-out base measurement still yields a (pessimal)
             # base value; the paper's normalization needs *something*
             self.base_times[path] = elapsed
-            yield self.sim.timeout(self.config.base_measure_gap_s)
+            yield self.config.base_measure_gap_s
         return dict(self.base_times)
 
     # -- epoch execution --------------------------------------------------------
@@ -140,7 +140,7 @@ class MFCClient:
         def request_flow():
             # SYN + SYN-ACK + request-on-ACK: first byte reaches the
             # server 1.5 RTT after the client starts the handshake
-            yield self.sim.timeout(1.5 * rtt)
+            yield 1.5 * rtt
             response = yield self.service.submit(request, self.node, rtt)
             return response
 

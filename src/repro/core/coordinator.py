@@ -108,7 +108,7 @@ class Coordinator:
         answered: List[str] = []
         for client in self.clients:
             client.probe(answered.append)
-        yield self.sim.timeout(self.config.liveness_timeout_s)
+        yield self.config.liveness_timeout_s
         alive = set(answered)
         return [c for c in self.clients if c.client_id in alive]
 
@@ -157,7 +157,7 @@ class Coordinator:
                 client.node.latency_to_coord,
                 lambda rtt, cid=client.client_id: coord_rtts.setdefault(cid, rtt),
             )
-        yield self.sim.timeout(self.config.liveness_timeout_s)
+        yield self.config.liveness_timeout_s
 
         # T_target + base response times: strictly sequential so the
         # measurements do not impact each other (§2.2.3)
@@ -233,7 +233,7 @@ class Coordinator:
             + self.config.epoch_gap_s
             + self.config.report_slack_s
         )
-        yield self.sim.timeout(max(drain_until - self.sim.now, 0.0))
+        yield max(drain_until - self.sim.now, 0.0)
 
         reports = self._mailbox.pop(epoch_key, [])
         epoch = EpochResult(

@@ -61,7 +61,7 @@ class Measurer:
         )
 
         def flow():
-            yield self.sim.timeout(1.5 * rtt)
+            yield 1.5 * rtt
             response = yield self.service.submit(request, self.node, rtt)
             return response
 

@@ -1,0 +1,244 @@
+"""FROZEN seed implementation of the fluid network — parity reference.
+
+This is a verbatim copy of ``repro/net/link.py`` as of the pre-refactor
+seed (before the active-link-set allocator and incremental aggregates).
+It exists solely so the determinism-parity suite can run whole worlds
+against both implementations and assert byte-identical ``MFCResult``s
+— which is also what keeps the committed campaign result caches valid.
+
+Do NOT optimise or "fix" this module; it must stay behaviourally
+identical to the seed.  The live implementation lives in
+``repro/net/link.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.sim.events import Event
+from repro.sim.kernel import SimulationError, Simulator
+
+_EPS = 1e-9
+
+
+class TransferAborted(Exception):
+    """Failure value of a transfer's completion event after abort()."""
+
+
+class Link:
+    """A capacity constraint, in bytes per second."""
+
+    def __init__(self, name: str, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity_bps}")
+        self.name = name
+        self.capacity_bps = capacity_bps
+        self.transfers: Set["Transfer"] = set()
+        #: cumulative bytes pushed through this link
+        self.bytes_delivered = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        """Number of transfers currently crossing this link."""
+        return len(self.transfers)
+
+    def current_rate(self) -> float:
+        """Aggregate instantaneous throughput across this link (B/s)."""
+        return sum(t.rate for t in self.transfers)
+
+    def utilization(self) -> float:
+        """Instantaneous throughput as a fraction of capacity."""
+        return self.current_rate() / self.capacity_bps
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, {self.capacity_bps:.0f} B/s, flows={self.active_flows})"
+
+
+class Transfer:
+    """An in-flight byte stream across one or more links."""
+
+    def __init__(self, network: "Network", links: Sequence[Link], size_bytes: float) -> None:
+        self.network = network
+        self.links = list(links)
+        self.size_bytes = float(size_bytes)
+        self.remaining = float(size_bytes)
+        self.rate = 0.0
+        self.done: Event = Event(network.sim)
+        self.started_at = network.sim.now
+        self.finished_at: Optional[float] = None
+        self.aborted = False
+
+    @property
+    def active(self) -> bool:
+        """True while bytes remain and the transfer is not aborted."""
+        return not self.done.triggered
+
+    def __repr__(self) -> str:
+        return (
+            f"Transfer(size={self.size_bytes:.0f}, remaining={self.remaining:.0f}, "
+            f"rate={self.rate:.0f})"
+        )
+
+
+class Network:
+    """Fluid-flow network: owns links, transfers and rate assignment."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._links: Dict[str, Link] = {}
+        self._active: Set[Transfer] = set()
+        self._last_advance = sim.now
+        self._timer_token = 0
+
+    # -- links ----------------------------------------------------------------
+
+    def add_link(self, name: str, capacity_bps: float) -> Link:
+        """Create and register a named link."""
+        if name in self._links:
+            raise SimulationError(f"duplicate link name: {name}")
+        link = Link(name, capacity_bps)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> Link:
+        """Look up a link by name."""
+        return self._links[name]
+
+    @property
+    def links(self) -> List[Link]:
+        """All registered links."""
+        return list(self._links.values())
+
+    # -- transfers ---------------------------------------------------------------
+
+    def start_transfer(self, links: Sequence[Link], size_bytes: float) -> Transfer:
+        """Begin moving *size_bytes* across *links*.
+
+        Returns the :class:`Transfer`; wait on ``transfer.done`` for
+        completion (it fires with the transfer as its value).  A
+        zero-byte transfer completes immediately.
+        """
+        if not links:
+            raise SimulationError("transfer needs at least one link")
+        if size_bytes < 0:
+            raise SimulationError("negative transfer size")
+        transfer = Transfer(self, links, size_bytes)
+        if size_bytes == 0:
+            transfer.finished_at = self.sim.now
+            transfer.done.succeed(value=transfer)
+            return transfer
+        self._advance()
+        self._active.add(transfer)
+        for link in transfer.links:
+            link.transfers.add(transfer)
+        self._recompute_and_reschedule()
+        return transfer
+
+    def abort(self, transfer: Transfer) -> None:
+        """Cancel an in-flight transfer (its ``done`` event fails).
+
+        Models the MFC client killing a request at the 10 s timeout.
+        """
+        if not transfer.active:
+            return
+        self._advance()
+        transfer.aborted = True
+        self._detach(transfer)
+        exc = TransferAborted(
+            f"aborted at t={self.sim.now:.3f} with {transfer.remaining:.0f}B left"
+        )
+        transfer.done.fail(exc)
+        transfer.done._defused = True  # abort is intentional; waiter optional
+        self._recompute_and_reschedule()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _detach(self, transfer: Transfer) -> None:
+        self._active.discard(transfer)
+        for link in transfer.links:
+            link.transfers.discard(transfer)
+
+    def _advance(self) -> None:
+        """Apply progress since the last rate change.
+
+        Completion is swept even when no time elapsed: a transfer whose
+        remaining bytes underflowed float resolution must still finish,
+        otherwise its zero-delay completion timer re-arms forever.
+        """
+        now = self.sim.now
+        dt = now - self._last_advance
+        self._last_advance = now
+        completed: List[Transfer] = []
+        for transfer in self._active:
+            if dt > 0:
+                moved = transfer.rate * dt
+                transfer.remaining -= moved
+                for link in transfer.links:
+                    link.bytes_delivered += moved
+            # absolute-and-relative epsilon: sub-byte remainders and
+            # remainders the current rate cannot resolve within a
+            # float tick both count as done
+            slack = max(_EPS, transfer.rate * now * 1e-12)
+            if transfer.remaining <= max(1e-6, slack):
+                for link in transfer.links:
+                    link.bytes_delivered += transfer.remaining
+                transfer.remaining = 0.0
+                completed.append(transfer)
+        for transfer in completed:
+            self._detach(transfer)
+            transfer.finished_at = now
+            transfer.done.succeed(value=transfer)
+
+    def _recompute_and_reschedule(self) -> None:
+        self._assign_max_min_rates()
+        self._schedule_next_completion()
+
+    def _assign_max_min_rates(self) -> None:
+        """Progressive filling over all links with active transfers."""
+        unfrozen: Set[Transfer] = set(self._active)
+        for t in unfrozen:
+            t.rate = 0.0
+        cap_left = {link: link.capacity_bps for link in self._links.values()}
+        link_unfrozen: Dict[Link, int] = {
+            link: sum(1 for t in link.transfers if t in unfrozen)
+            for link in self._links.values()
+        }
+        while unfrozen:
+            # most-contended link: smallest equal share among links
+            # that still carry unfrozen transfers
+            best_link = None
+            best_share = math.inf
+            for link, count in link_unfrozen.items():
+                if count <= 0:
+                    continue
+                share = cap_left[link] / count
+                if share < best_share - _EPS:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                break
+            frozen_now = [t for t in best_link.transfers if t in unfrozen]
+            for transfer in frozen_now:
+                transfer.rate = max(best_share, 0.0)
+                unfrozen.discard(transfer)
+                for link in transfer.links:
+                    cap_left[link] -= transfer.rate
+                    link_unfrozen[link] -= 1
+
+    def _schedule_next_completion(self) -> None:
+        self._timer_token += 1
+        token = self._timer_token
+        soonest = math.inf
+        for transfer in self._active:
+            if transfer.rate > _EPS:
+                soonest = min(soonest, transfer.remaining / transfer.rate)
+        if math.isinf(soonest):
+            return
+        self.sim.call_in(max(soonest, 0.0), lambda: self._on_timer(token))
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # superseded by a later recompute
+        self._advance()
+        self._recompute_and_reschedule()

@@ -9,6 +9,20 @@ transfers at that link's equal share, subtract, repeat.  Rates are
 recomputed whenever a transfer starts, finishes or aborts, so each
 transfer progresses piecewise-linearly — an event-driven fluid model.
 
+The allocator works on the **active-link set** only: an MFC world
+registers one access link per fleet client (hundreds), but at any
+instant only the current crowd's links carry transfers, so progressive
+filling over the active subset is O(flows · path) instead of
+O(registered links) per transfer event.  Candidate links are visited
+in registration order, which keeps every share comparison and cap
+subtraction bit-identical to a full-link scan (the frozen seed
+implementation in ``_seed_reference.py`` — the determinism-parity
+suite holds the two to byte-identical world results).
+
+Each link's aggregate throughput is maintained incrementally as rates
+are frozen, so :meth:`Link.current_rate` / :meth:`Link.utilization`
+are O(1) for the resource monitor.
+
 This is the substrate behaviour the Large Object stage of the paper
 probes: as concurrent downloads of the same object pile onto the server
 access link, each flow's fair share drops and response time climbs.
@@ -17,12 +31,16 @@ access link, each flow's fair share drops and response time climbs.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set
+from bisect import insort
+from operator import attrgetter
+from typing import Dict, List, Optional, Sequence
 
 from repro.sim.events import Event
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.kernel import SimulationError, Simulator, Timer
 
 _EPS = 1e-9
+
+_link_index = attrgetter("index")
 
 
 class TransferAborted(Exception):
@@ -32,14 +50,36 @@ class TransferAborted(Exception):
 class Link:
     """A capacity constraint, in bytes per second."""
 
-    def __init__(self, name: str, capacity_bps: float) -> None:
+    __slots__ = (
+        "name",
+        "capacity_bps",
+        "index",
+        "transfers",
+        "bytes_delivered",
+        "_agg_rate",
+        "_cap_left",
+        "_cnt",
+    )
+
+    def __init__(self, name: str, capacity_bps: float, index: int = 0) -> None:
         if capacity_bps <= 0:
             raise ValueError(f"link capacity must be positive, got {capacity_bps}")
         self.name = name
         self.capacity_bps = capacity_bps
-        self.transfers: Set["Transfer"] = set()
+        #: registration order within the owning Network; the allocator
+        #: visits candidate links in this order
+        self.index = index
+        #: active transfers crossing this link (insertion-ordered)
+        self.transfers: Dict["Transfer", None] = {}
         #: cumulative bytes pushed through this link
         self.bytes_delivered = 0.0
+        # aggregate of the current max-min rates, maintained by the
+        # allocator so current_rate()/utilization() are O(1)
+        self._agg_rate = 0.0
+        # progressive-filling books, valid only inside one allocation
+        # (slot attributes beat per-recompute dicts: no hashing)
+        self._cap_left = 0.0
+        self._cnt = 0
 
     @property
     def active_flows(self) -> int:
@@ -48,11 +88,11 @@ class Link:
 
     def current_rate(self) -> float:
         """Aggregate instantaneous throughput across this link (B/s)."""
-        return sum(t.rate for t in self.transfers)
+        return self._agg_rate
 
     def utilization(self) -> float:
         """Instantaneous throughput as a fraction of capacity."""
-        return self.current_rate() / self.capacity_bps
+        return self._agg_rate / self.capacity_bps
 
     def __repr__(self) -> str:
         return f"Link({self.name!r}, {self.capacity_bps:.0f} B/s, flows={self.active_flows})"
@@ -61,9 +101,24 @@ class Link:
 class Transfer:
     """An in-flight byte stream across one or more links."""
 
+    __slots__ = (
+        "network",
+        "links",
+        "size_bytes",
+        "remaining",
+        "rate",
+        "done",
+        "started_at",
+        "finished_at",
+        "aborted",
+    )
+
     def __init__(self, network: "Network", links: Sequence[Link], size_bytes: float) -> None:
         self.network = network
-        self.links = list(links)
+        # dedupe while preserving order: a link listed twice in a path
+        # is one capacity constraint, and single-entry links keep the
+        # allocator's per-link books (counts, caps, aggregates) exact
+        self.links = list(dict.fromkeys(links))
         self.size_bytes = float(size_bytes)
         self.remaining = float(size_bytes)
         self.rate = 0.0
@@ -90,9 +145,18 @@ class Network:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._links: Dict[str, Link] = {}
-        self._active: Set[Transfer] = set()
+        #: active transfers in join order
+        self._active: Dict[Transfer, None] = {}
+        #: links with >= 1 active transfer, kept sorted by registration
+        #: index (maintained incrementally on transfer join/leave)
+        self._active_links: List[Link] = []
         self._last_advance = sim.now
-        self._timer_token = 0
+        #: the single armed completion timer (superseded ones are
+        #: cancelled in place, not leaked)
+        self._completion_timer: Optional[Timer] = None
+        #: links the last allocation assigned rates on (their
+        #: aggregates are the ones that need zeroing next time)
+        self._alloc_links: List[Link] = []
 
     # -- links ----------------------------------------------------------------
 
@@ -100,7 +164,7 @@ class Network:
         """Create and register a named link."""
         if name in self._links:
             raise SimulationError(f"duplicate link name: {name}")
-        link = Link(name, capacity_bps)
+        link = Link(name, capacity_bps, index=len(self._links))
         self._links[name] = link
         return link
 
@@ -132,9 +196,11 @@ class Network:
             transfer.done.succeed(value=transfer)
             return transfer
         self._advance()
-        self._active.add(transfer)
+        self._active[transfer] = None
         for link in transfer.links:
-            link.transfers.add(transfer)
+            if not link.transfers:
+                insort(self._active_links, link, key=_link_index)
+            link.transfers[transfer] = None
         self._recompute_and_reschedule()
         return transfer
 
@@ -146,6 +212,10 @@ class Network:
         if not transfer.active:
             return
         self._advance()
+        if not transfer.active:
+            # the advance swept the transfer to completion at this very
+            # instant: it finished, there is nothing left to abort
+            return
         transfer.aborted = True
         self._detach(transfer)
         exc = TransferAborted(
@@ -158,9 +228,11 @@ class Network:
     # -- internals ----------------------------------------------------------------
 
     def _detach(self, transfer: Transfer) -> None:
-        self._active.discard(transfer)
+        self._active.pop(transfer, None)
         for link in transfer.links:
-            link.transfers.discard(transfer)
+            link.transfers.pop(transfer, None)
+            if not link.transfers:
+                self._active_links.remove(link)
 
     def _advance(self) -> None:
         """Apply progress since the last rate change.
@@ -181,9 +253,10 @@ class Network:
                     link.bytes_delivered += moved
             # absolute-and-relative epsilon: sub-byte remainders and
             # remainders the current rate cannot resolve within a
-            # float tick both count as done
-            slack = max(_EPS, transfer.rate * now * 1e-12)
-            if transfer.remaining <= max(1e-6, slack):
+            # float tick both count as done (the 1e-6 absolute floor
+            # absorbs the old max(_EPS, ...) lower clamp)
+            slack = transfer.rate * now * 1e-12
+            if transfer.remaining <= (slack if slack > 1e-6 else 1e-6):
                 for link in transfer.links:
                     link.bytes_delivered += transfer.remaining
                 transfer.remaining = 0.0
@@ -198,50 +271,101 @@ class Network:
         self._schedule_next_completion()
 
     def _assign_max_min_rates(self) -> None:
-        """Progressive filling over all links with active transfers."""
-        unfrozen: Set[Transfer] = set(self._active)
-        for t in unfrozen:
-            t.rate = 0.0
-        cap_left = {link: link.capacity_bps for link in self._links.values()}
-        link_unfrozen: Dict[Link, int] = {
-            link: sum(1 for t in link.transfers if t in unfrozen)
-            for link in self._links.values()
-        }
-        while unfrozen:
-            # most-contended link: smallest equal share among links
-            # that still carry unfrozen transfers
+        """Progressive filling restricted to the active-link set.
+
+        Candidate links are visited in registration order so every
+        share comparison (including the ``_EPS`` strict-improvement
+        tie-break) and every cap subtraction is bit-identical to the
+        seed's full-link scan.
+        """
+        for link in self._alloc_links:
+            link._agg_rate = 0.0
+        active = self._active
+        if not active:
+            self._alloc_links = []
+            return
+        links = self._active_links
+        self._alloc_links = list(links)
+
+        # round 1 over pristine capacities needs no cap/count books:
+        # the unfrozen count of every active link is its flow count
+        best_link = None
+        best_share = math.inf
+        for link in links:
+            share = link.capacity_bps / len(link.transfers)
+            if share < best_share - _EPS:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            return
+        rate = max(best_share, 0.0)
+        if len(best_link.transfers) == len(active):
+            # the most-contended link carries *every* flow (an MFC
+            # crowd piling onto the server access link): one round
+            # freezes them all, so skip the progressive-filling books
+            for transfer in active:
+                transfer.rate = rate
+            for link in links:
+                link._agg_rate = rate * len(link.transfers)
+            return
+
+        # general case: run full progressive filling (round 1's best
+        # link is already known; its books start pristine)
+        for transfer in active:
+            transfer.rate = 0.0
+        for link in links:
+            link._cap_left = link.capacity_bps
+            link._cnt = len(link.transfers)
+        unfrozen = set(active)
+        while True:
+            for transfer in best_link.transfers:
+                if transfer not in unfrozen:
+                    continue
+                transfer.rate = rate
+                unfrozen.discard(transfer)
+                for link in transfer.links:
+                    link._cap_left -= rate
+                    link._cnt -= 1
+                    link._agg_rate += rate
+            if not unfrozen:
+                return
+            # most-contended remaining link: smallest equal share among
+            # links that still carry unfrozen transfers
             best_link = None
             best_share = math.inf
-            for link, count in link_unfrozen.items():
+            for link in links:
+                count = link._cnt
                 if count <= 0:
                     continue
-                share = cap_left[link] / count
+                share = link._cap_left / count
                 if share < best_share - _EPS:
                     best_share = share
                     best_link = link
             if best_link is None:
-                break
-            frozen_now = [t for t in best_link.transfers if t in unfrozen]
-            for transfer in frozen_now:
-                transfer.rate = max(best_share, 0.0)
-                unfrozen.discard(transfer)
-                for link in transfer.links:
-                    cap_left[link] -= transfer.rate
-                    link_unfrozen[link] -= 1
+                return
+            rate = max(best_share, 0.0)
 
     def _schedule_next_completion(self) -> None:
-        self._timer_token += 1
-        token = self._timer_token
+        timer = self._completion_timer
+        if timer is not None:
+            # supersede in place: the stale heap entry fires as a no-op
+            # instead of accumulating a live closure per recompute
+            timer.cancel()
+            self._completion_timer = None
         soonest = math.inf
         for transfer in self._active:
-            if transfer.rate > _EPS:
-                soonest = min(soonest, transfer.remaining / transfer.rate)
+            rate = transfer.rate
+            if rate > _EPS:
+                eta = transfer.remaining / rate
+                if eta < soonest:
+                    soonest = eta
         if math.isinf(soonest):
             return
-        self.sim.call_in(max(soonest, 0.0), lambda: self._on_timer(token))
+        self._completion_timer = self.sim.call_in(
+            max(soonest, 0.0), self._on_completion
+        )
 
-    def _on_timer(self, token: int) -> None:
-        if token != self._timer_token:
-            return  # superseded by a later recompute
+    def _on_completion(self) -> None:
+        self._completion_timer = None
         self._advance()
         self._recompute_and_reschedule()

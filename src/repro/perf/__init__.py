@@ -1,0 +1,47 @@
+"""Performance measurement for the simulation substrate.
+
+Every paper figure and the §5 study run through the same three hot
+layers — the event kernel (`sim/`), the fluid-network rate allocator
+(`net/`) and the server pipeline (`server/` + `core/`) — so this
+package owns the *measurement baseline* those layers are optimised
+against:
+
+- :mod:`repro.perf.benches` — microbenchmarks for kernel event
+  throughput and allocator cost versus flow count, plus the end-to-end
+  200-client Large Object world benchmark;
+- :mod:`repro.perf.baseline` — ``BENCH_*.json`` reading/writing and
+  comparison against the recorded baseline, including the determinism
+  fingerprint that guards against behaviour drift.
+
+``repro perf`` (see :mod:`repro.cli`) drives both and emits
+``BENCH_kernel.json`` / ``BENCH_world.json`` so every future PR has a
+trajectory to beat.
+"""
+
+from repro.perf.baseline import (
+    BASELINE_FILENAME,
+    compare_to_baseline,
+    load_bench_file,
+    write_bench_file,
+)
+from repro.perf.benches import (
+    bench_allocator,
+    bench_kernel_cascade,
+    bench_kernel_timers,
+    bench_world,
+    run_kernel_suite,
+    run_world_suite,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "bench_allocator",
+    "bench_kernel_cascade",
+    "bench_kernel_timers",
+    "bench_world",
+    "compare_to_baseline",
+    "load_bench_file",
+    "run_kernel_suite",
+    "run_world_suite",
+    "write_bench_file",
+]

@@ -1,0 +1,99 @@
+"""``BENCH_*.json`` files and baseline comparison.
+
+A bench file is ``{"schema": 1, "benches": {key: record}}`` where each
+record carries ``seconds``, bench-specific throughput fields, the
+``params`` it ran with and (for world benches) a determinism
+``fingerprint``.  The *baseline* file uses the same format; it is
+recorded once per optimisation cycle with ``repro perf
+--update-baseline`` and committed, so ``repro perf`` on any later
+checkout reports speedup-vs-baseline and flags determinism drift.
+
+Records are only comparable when their ``params`` match — a quick run
+is never compared against a full baseline entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+#: the committed baseline all future perf PRs are judged against
+BASELINE_FILENAME = "BENCH_baseline.json"
+
+SCHEMA = 1
+
+
+def write_bench_file(path: str, benches: Dict[str, Dict]) -> None:
+    """Write a bench payload as a ``BENCH_*.json`` file."""
+    doc = {"schema": SCHEMA, "benches": benches}
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench_file(path: str) -> Optional[Dict[str, Dict]]:
+    """Load a bench payload; None when the file is absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unsupported bench schema {doc.get('schema')!r}")
+    return doc["benches"]
+
+
+def compare_to_baseline(
+    benches: Dict[str, Dict], baseline: Optional[Dict[str, Dict]]
+) -> List[Dict]:
+    """Per-bench comparison rows against a baseline payload.
+
+    Each row has ``key``, ``seconds``, ``baseline_seconds`` (None when
+    the baseline lacks a comparable entry), ``speedup`` and
+    ``fingerprint_match`` (None when either side has no fingerprint).
+    """
+    rows: List[Dict] = []
+    for key in sorted(benches):
+        record = benches[key]
+        row: Dict = {
+            "key": key,
+            "seconds": record["seconds"],
+            "baseline_seconds": None,
+            "speedup": None,
+            "fingerprint_match": None,
+        }
+        ref = (baseline or {}).get(key)
+        if ref is not None and ref.get("params") == record.get("params"):
+            row["baseline_seconds"] = ref["seconds"]
+            if record["seconds"] > 0:
+                row["speedup"] = ref["seconds"] / record["seconds"]
+            if "fingerprint" in record and "fingerprint" in ref:
+                row["fingerprint_match"] = record["fingerprint"] == ref["fingerprint"]
+        rows.append(row)
+    return rows
+
+
+def render_comparison(rows: List[Dict]) -> str:
+    """Monospace table of comparison rows for terminal output."""
+    lines = [
+        f"{'bench':<28} {'seconds':>10} {'baseline':>10} {'speedup':>8}  determinism",
+        "-" * 72,
+    ]
+    for row in rows:
+        base = (
+            f"{row['baseline_seconds']:.4f}"
+            if row["baseline_seconds"] is not None
+            else "-"
+        )
+        speed = f"{row['speedup']:.2f}x" if row["speedup"] is not None else "-"
+        if row["fingerprint_match"] is None:
+            parity = "-"
+        else:
+            parity = "ok" if row["fingerprint_match"] else "DRIFT"
+        lines.append(
+            f"{row['key']:<28} {row['seconds']:>10.4f} {base:>10} {speed:>8}  {parity}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,265 @@
+"""Substrate microbenchmarks and the end-to-end world benchmark.
+
+Three layers, three benches:
+
+- **kernel** — raw timer throughput (`bench_kernel_timers`) and a
+  cascade of self-rescheduling timers (`bench_kernel_cascade`), the two
+  shapes the fluid network and the coordinator put on the heap;
+- **allocator** — `bench_allocator` measures the max-min recompute cost
+  as a function of concurrent flow count in a topology with many
+  *registered but idle* access links, which is exactly the shape an
+  MFC world has (every fleet client owns an access link, only the
+  current crowd's links are active);
+- **world** — `bench_world` runs a complete Large Object experiment
+  (fleet, coordinator, epochs) and is the acceptance benchmark: its
+  wall-clock time is what future perf PRs are judged against, and its
+  result fingerprint is the determinism guard.
+
+All benches measure wall-clock with ``time.perf_counter`` and report
+best-of-``repeats`` so background noise biases the numbers up, never
+down.  Everything inside a bench is seeded and deterministic — two
+runs do identical simulated work, only the wall clock differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.core.config import MFCConfig
+from repro.core.runner import MFCRunner
+from repro.core.stages import StageKind
+from repro.server import presets
+from repro.sim.kernel import Simulator
+from repro.workload.fleet import FleetSpec
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Run ``fn()`` *repeats* times; return the fastest wall time."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- kernel -------------------------------------------------------------------
+
+
+def bench_kernel_timers(n_events: int = 200_000, repeats: int = 3) -> Dict:
+    """Schedule *n_events* one-shot timers, then drain the heap."""
+
+    def run() -> None:
+        sim = Simulator()
+        sink: List[float] = []
+        append = sink.append
+        for i in range(n_events):
+            sim.call_in(0.001 * (i % 97), lambda: append(0.0))
+        sim.run()
+        assert len(sink) == n_events
+
+    seconds = _best_of(repeats, run)
+    return {
+        "seconds": seconds,
+        "events": n_events,
+        "events_per_s": n_events / seconds if seconds > 0 else 0.0,
+        "params": {"n_events": n_events, "repeats": repeats},
+    }
+
+
+def bench_kernel_cascade(n_events: int = 200_000, repeats: int = 3) -> Dict:
+    """A single timer chain that reschedules itself *n_events* times.
+
+    This is the allocator's completion-timer shape: every firing
+    schedules the next, so heap depth stays ~1 and the bench isolates
+    per-event dispatch cost from heap depth.
+    """
+
+    def run() -> None:
+        sim = Simulator()
+        state = {"left": n_events}
+
+        def tick() -> None:
+            state["left"] -= 1
+            if state["left"] > 0:
+                sim.call_in(0.001, tick)
+
+        sim.call_in(0.001, tick)
+        sim.run()
+        assert state["left"] == 0
+
+    seconds = _best_of(repeats, run)
+    return {
+        "seconds": seconds,
+        "events": n_events,
+        "events_per_s": n_events / seconds if seconds > 0 else 0.0,
+        "params": {"n_events": n_events, "repeats": repeats},
+    }
+
+
+# -- allocator ----------------------------------------------------------------
+
+
+def bench_allocator(
+    n_flows: int = 100,
+    n_idle_links: int = 200,
+    n_rounds: int = 20,
+    repeats: int = 3,
+) -> Dict:
+    """Max-min recompute cost at *n_flows* concurrent transfers.
+
+    The topology registers ``n_idle_links`` client access links (one
+    per fleet client, as MFC worlds do) but only ``n_flows`` of them
+    carry a transfer; each round starts the flows and drains them,
+    which exercises one recompute per join plus one per completion.
+    """
+    from repro.net.link import Network
+
+    def run() -> None:
+        sim = Simulator()
+        net = Network(sim)
+        server = net.add_link("server", 1e9)
+        access = [
+            net.add_link(f"acc{i}", 12.5e6) for i in range(max(n_idle_links, n_flows))
+        ]
+        for _ in range(n_rounds):
+            transfers = [
+                net.start_transfer([server, access[i]], 100_000.0)
+                for i in range(n_flows)
+            ]
+            sim.run()
+            assert all(t.done.processed for t in transfers)
+
+    seconds = _best_of(repeats, run)
+    # one recompute per join; the flows are same-size at equal rates,
+    # so each round's completions land on one timestamp and are swept
+    # by a single batched recompute
+    recomputes = n_rounds * (n_flows + 1)
+    return {
+        "seconds": seconds,
+        "recomputes": recomputes,
+        "us_per_recompute": seconds / recomputes * 1e6 if recomputes else 0.0,
+        "params": {
+            "n_flows": n_flows,
+            "n_idle_links": n_idle_links,
+            "n_rounds": n_rounds,
+            "repeats": repeats,
+        },
+    }
+
+
+# -- end-to-end world ---------------------------------------------------------
+
+
+def _result_fingerprint(result) -> str:
+    """SHA-256 over the full canonical encoding of an MFCResult.
+
+    Two runs (or two implementations) that produce byte-identical
+    results produce equal fingerprints — this is the determinism guard
+    ``repro perf`` checks against the recorded baseline.
+    """
+    from repro.campaign.codec import encode_result
+
+    doc = encode_result(result, detail="full")
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def bench_world(
+    n_clients: int = 200,
+    max_crowd: int = 200,
+    crowd_step: int = 10,
+    seed: int = 0,
+    repeats: int = 1,
+) -> Dict:
+    """The acceptance benchmark: a full Large Object MFC experiment.
+
+    Builds a ``qtnp``-grade world with *n_clients* fleet clients, runs
+    the Large Object stage to its crowd cap and reports wall seconds,
+    simulated request count and the result fingerprint.
+    """
+    config = MFCConfig(
+        threshold_s=0.100,
+        max_crowd=max_crowd,
+        crowd_step=crowd_step,
+        initial_crowd=crowd_step,
+        min_clients=min(50, max(1, int(n_clients * 0.75))),
+    )
+    state: Dict = {}
+
+    def run() -> None:
+        runner = MFCRunner.build(
+            presets.qtnp_server(),
+            fleet_spec=FleetSpec(n_clients=n_clients),
+            config=config,
+            stage_kinds=[StageKind.LARGE_OBJECT],
+            seed=seed,
+        )
+        state["result"] = runner.run()
+
+    seconds = _best_of(repeats, run)
+    result = state["result"]
+    return {
+        "seconds": seconds,
+        "requests": result.total_requests,
+        "requests_per_s": result.total_requests / seconds if seconds > 0 else 0.0,
+        "fingerprint": _result_fingerprint(result),
+        "params": {
+            "n_clients": n_clients,
+            "max_crowd": max_crowd,
+            "crowd_step": crowd_step,
+            "seed": seed,
+            "repeats": repeats,
+        },
+    }
+
+
+# -- suites -------------------------------------------------------------------
+
+
+def run_kernel_suite(quick: bool = False) -> Dict[str, Dict]:
+    """Kernel + allocator benches → the ``BENCH_kernel.json`` payload.
+
+    Quick-mode keys carry a ``.quick`` suffix so quick and full runs
+    keep separate baseline entries (their params differ, so they are
+    never comparable anyway).
+    """
+    n = 40_000 if quick else 200_000
+    repeats = 2 if quick else 3
+    flow_points = (10, 50) if quick else (10, 50, 100, 200)
+    suffix = ".quick" if quick else ""
+    benches: Dict[str, Dict] = {
+        f"kernel.timers{suffix}": bench_kernel_timers(n_events=n, repeats=repeats),
+        f"kernel.cascade{suffix}": bench_kernel_cascade(n_events=n, repeats=repeats),
+    }
+    for flows in flow_points:
+        benches[f"allocator.flows_{flows}{suffix}"] = bench_allocator(
+            n_flows=flows,
+            n_idle_links=200,
+            n_rounds=4 if quick else 20,
+            repeats=repeats,
+        )
+    return benches
+
+
+def run_world_suite(quick: bool = False) -> Dict[str, Dict]:
+    """End-to-end world benches → the ``BENCH_world.json`` payload.
+
+    The full suite always contains the 200-client Large Object world —
+    the acceptance benchmark; ``quick`` swaps in a small world for CI
+    smoke runs (same shape, ~10x cheaper, still fingerprinted).
+    """
+    if quick:
+        return {
+            "world.large_object_60": bench_world(
+                n_clients=60, max_crowd=40, crowd_step=10, repeats=1
+            ),
+        }
+    return {
+        "world.large_object_200": bench_world(
+            n_clients=200, max_crowd=200, crowd_step=10, repeats=2
+        ),
+    }

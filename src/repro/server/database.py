@@ -80,7 +80,7 @@ class Database:
         self.queries_executed += 1
         if query.cacheable and self.query_cache.lookup(query.path):
             # cached responses skip the scan; only the cache probe costs
-            yield self.sim.timeout(
+            yield (
                 0.1 * self.spec.per_query_overhead_s * swap_factor
             )
             return True
@@ -89,7 +89,7 @@ class Database:
         yield grant
         try:
             scan_s = query.db_rows / self.spec.row_scan_rate
-            yield self.sim.timeout(
+            yield (
                 (self.spec.per_query_overhead_s + scan_s) * swap_factor
             )
         finally:
@@ -99,7 +99,7 @@ class Database:
             hop = self._contention.request()
             yield hop
             try:
-                yield self.sim.timeout(self.spec.contention_point_s * swap_factor)
+                yield self.spec.contention_point_s * swap_factor
             finally:
                 self._contention.release(hop)
 

@@ -20,16 +20,20 @@ probe              meaning
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.server.webserver import SimWebServer
-from repro.sim.kernel import Simulator
-from repro.sim.process import Interrupt, Process
+from repro.sim.kernel import Simulator, Timer
 from repro.sim.trace import TraceLog
 
 
 class ResourceMonitor:
-    """Periodic sampler over one :class:`SimWebServer`."""
+    """Periodic sampler over one :class:`SimWebServer`.
+
+    Sampling rides the kernel's fast-path timer API: one bare
+    :class:`~repro.sim.kernel.Timer` per interval, rearmed from its own
+    callback — no generator process, no Event per sample.
+    """
 
     def __init__(
         self,
@@ -43,7 +47,7 @@ class ResourceMonitor:
         self.server = server
         self.interval_s = interval_s
         self.trace = TraceLog(sim)
-        self._proc: Optional[Process] = None
+        self._timer: Optional[Timer] = None
         self._last_cpu_busy = 0.0
         self._last_disk_busy = 0.0
         self._last_net_bytes = 0.0
@@ -52,25 +56,25 @@ class ResourceMonitor:
 
     def start(self) -> None:
         """Begin sampling (idempotent)."""
-        if self._proc is not None and self._proc.is_alive:
+        if self._timer is not None and self._timer.active:
             return
         self._last_cpu_busy = self.server.resources.cpu.busy_integral()
         self._last_disk_busy = self.server.resources.disk.busy_integral()
         self._last_net_bytes = self.server.access_link.bytes_delivered
-        self._proc = self.sim.process(self._run())
+        self._timer = self.sim.call_in(self.interval_s, self._tick)
 
     def stop(self) -> None:
         """Stop sampling."""
-        if self._proc is not None and self._proc.is_alive:
-            self._proc.interrupt("monitor stopped")
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
-    def _run(self) -> Generator:
-        try:
-            while True:
-                yield self.sim.timeout(self.interval_s)
-                self.sample()
-        except Interrupt:
-            return
+    def _tick(self) -> None:
+        fired = self._timer
+        self.sample()
+        if self._timer is fired:
+            # re-arm only if sample() didn't stop() (or restart) us
+            self._timer = self.sim.call_in(self.interval_s, self._tick)
 
     # -- sampling ------------------------------------------------------------------
 

@@ -317,6 +317,145 @@ def univ3_server() -> Scenario:
     )
 
 
+def cdn_flash_sale() -> Scenario:
+    """A flash-sale storefront with its static weight CDN-offloaded.
+
+    Modern counterpart to the paper's targets: the Large Object lives
+    on a CDN, so the origin only sees a *small* "large" object (the
+    ~110 KB dynamic landing page — just over the stage's 100 KB bound)
+    on a fat 2 Gbps origin link → Large Object NoStops.  The constraint
+    is the checkout query: uniquely parameterized (cart tokens defeat
+    the response cache) with a 12 ms serialized inventory-row lock.
+    Rule of thumb: median of n synchronized checkouts waits
+    ≈ 0.7·(n/2)·12 ms → crosses θ=100 ms near n* ≈ 24.
+    """
+    spec = ServerSpec(
+        name="cdn-flash-sale",
+        cpu_cores=4,
+        cpu_speed=2.0,
+        max_workers=1024,
+        head_cpu_s=0.001,
+        request_parse_cpu_s=0.0002,
+        ram_bytes=8.0 * GIB,
+        db=DatabaseSpec(
+            max_connections=128,
+            row_scan_rate=10_000_000.0,
+            per_query_overhead_s=0.001,
+            query_cache_bytes=64.0 * MIB,
+            contention_point_s=0.012,   # inventory-row lock hop
+        ),
+        backend=BackendSpec(kind="mongrel", mongrel_pool_size=256),
+    )
+    site = minimal_site(
+        large_object_bytes=110 * 1024,   # origin-served landing page
+        query_response_bytes=1_500.0,
+        query_rows=2_000,
+        n_unique_queries=600,            # per-cart checkout URLs
+    )
+    return Scenario(
+        name="cdn-flash-sale",
+        server_spec=spec,
+        site=site,
+        server_access_bps=mbps(2000),
+        background_rps=8.0,              # pre-sale browsing traffic
+        notes="CDN-offloaded storefront; checkout lock is the constraint.",
+    )
+
+
+def api_microservice() -> Scenario:
+    """An API-heavy small-query microservice behind a modest gateway.
+
+    Every response is a small JSON document; there is no Large Object
+    at all (the site's biggest file is the 40 KB SDK bundle, below the
+    100 KB bound, so the stage is skipped at profiling time).  Queries
+    are cheap (5k rows at 8M rows/s ≈ 0.6 ms) but uncached and funneled
+    through a small 16-connection pool; with a 4 ms per-query overhead
+    the median of n synchronized calls queues ≈ 0.7·(n/2)·4.6 ms →
+    crosses θ=100 ms near n* ≈ 60.  Base (HEAD ≈ 1 ms) holds past 150.
+    """
+    spec = ServerSpec(
+        name="api-micro",
+        cpu_cores=2,
+        cpu_speed=1.5,
+        max_workers=512,
+        head_cpu_s=0.001,
+        request_parse_cpu_s=0.0003,
+        ram_bytes=4.0 * GIB,
+        db=DatabaseSpec(
+            max_connections=16,
+            row_scan_rate=8_000_000.0,
+            per_query_overhead_s=0.004,
+            query_cache_bytes=0.0,       # per-token responses, no cache
+        ),
+        backend=BackendSpec(kind="mongrel", mongrel_pool_size=128),
+    )
+    site = minimal_site(
+        large_object_bytes=40 * 1024,    # SDK bundle: below the LO bound
+        query_response_bytes=900.0,
+        query_rows=5_000,
+        n_unique_queries=500,
+    )
+    return Scenario(
+        name="api-micro",
+        server_spec=spec,
+        site=site,
+        server_access_bps=mbps(500),
+        background_rps=12.0,             # steady API callers
+        notes="Query-pool constrained JSON API; no Large Object stage.",
+    )
+
+
+def budget_vps() -> Scenario:
+    """A swap-constrained budget VPS running a forked-CGI blog stack.
+
+    512 MB of RAM with a 350 MB resident baseline leaves ~160 MB of
+    headroom; each FastCGI fork inherits a 20 MB image, so ~8 synchro-
+    nized queries push the box into swap and *every* service time is
+    multiplied by the swap factor — the paper's Figure 6 cliff, here as
+    the steady state of an underprovisioned box rather than a lab
+    artifact.  Small Query collapses in the low teens and Base follows
+    near 20 (slow CPU + swap); Large Object NoStops — static GETs fork
+    nothing, and bandwidth is the one resource a budget VPS gets in
+    abundance.
+    """
+    spec = ServerSpec(
+        name="budget-vps",
+        cpu_cores=1,
+        cpu_speed=0.6,
+        max_workers=48,
+        head_cpu_s=0.004,
+        request_parse_cpu_s=0.002,
+        ram_bytes=0.5 * GIB,
+        baseline_memory_bytes=350.0 * MIB,
+        swap_bytes=1.0 * GIB,
+        swap_slowdown=25.0,
+        db=DatabaseSpec(
+            max_connections=12,
+            row_scan_rate=800_000.0,
+            per_query_overhead_s=0.006,
+            query_cache_bytes=0.0,
+        ),
+        backend=BackendSpec(
+            kind="fastcgi",
+            fastcgi_process_bytes=20.0 * MIB,
+            fastcgi_fork_cpu_s=0.006,
+        ),
+    )
+    site = minimal_site(
+        large_object_bytes=130 * 1024,
+        query_response_bytes=2_500.0,
+        query_rows=15_000,
+    )
+    return Scenario(
+        name="budget-vps",
+        server_spec=spec,
+        site=site,
+        server_access_bps=mbps(100),
+        background_rps=0.3,
+        notes="Swap-constrained VPS; FastCGI forks hit the memory cliff.",
+    )
+
+
 def all_cooperating_scenarios() -> List[Scenario]:
     """The §4 scenario set, in paper order."""
     return [

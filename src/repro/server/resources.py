@@ -150,9 +150,7 @@ class ServerResources:
         grant = self.cpu.request()
         yield grant
         try:
-            yield self.sim.timeout(
-                seconds / self.spec.cpu_speed * self.swap_factor()
-            )
+            yield seconds / self.spec.cpu_speed * self.swap_factor()
         finally:
             self.cpu.release(grant)
 
@@ -162,7 +160,7 @@ class ServerResources:
         yield grant
         try:
             duration = self.spec.disk_seek_s + size_bytes / self.spec.disk_bandwidth_bps
-            yield self.sim.timeout(duration * self.swap_factor())
+            yield duration * self.swap_factor()
         finally:
             self.disk.release(grant)
 

@@ -118,7 +118,7 @@ class SyntheticServer:
                 remaining = target - (self.sim.now - arrival)
                 if remaining <= 1e-12:
                     break
-                yield self.sim.timeout(remaining)
+                yield remaining
             path = client.download_path(self.access_link)
             yield from self.tcp.download(
                 self.sim, self.network, path, self.response_bytes, rtt

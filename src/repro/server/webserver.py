@@ -172,7 +172,7 @@ class SimWebServer:
         yield from self.tcp.download(self.sim, self.network, path, size_bytes, rtt)
         if self.spec.accept_thrash_threshold is not None and self._thrashing:
             # uniform loss-recovery stall while the box thrashes
-            yield self.sim.timeout(self.spec.accept_thrash_s)
+            yield self.spec.accept_thrash_s
 
     def _finish(
         self,

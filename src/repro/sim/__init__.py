@@ -14,7 +14,7 @@ Public surface::
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
-from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.kernel import SimulationError, Simulator, Timer
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.rng import RNGRegistry
@@ -35,5 +35,6 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "Timer",
     "TraceLog",
 ]

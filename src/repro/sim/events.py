@@ -23,6 +23,17 @@ Callback = Callable[["Event"], None]
 class Event:
     """A one-shot occurrence in simulated time."""
 
+    __slots__ = (
+        "sim",
+        "_callbacks",
+        "_triggered",
+        "_processed",
+        "_ok",
+        "_value",
+        "_exc",
+        "_defused",
+    )
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._callbacks: Optional[List[Callback]] = []
@@ -124,7 +135,15 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Use a Timeout when the firing must be an :class:`Event` (joined in
+    ``AllOf``/``AnyOf``, carrying a value, subscribed to).  A process
+    that only wants to pause should ``yield delay`` instead — the
+    kernel's bare-:class:`~repro.sim.kernel.Timer` fast path.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
         super().__init__(sim)
@@ -136,6 +155,8 @@ class Timeout(Event):
 
 class _Condition(Event):
     """Shared machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: Simulator, events: Sequence[Event]) -> None:
         super().__init__(sim)
@@ -165,6 +186,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when every child event has fired (fails fast on failure)."""
 
+    __slots__ = ()
+
     def _on_child(self, ev: Event) -> None:
         if self._triggered:
             return
@@ -179,6 +202,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Fires when the first child event fires (propagates its failure)."""
+
+    __slots__ = ()
 
     def _on_child(self, ev: Event) -> None:
         if self._triggered:

@@ -4,6 +4,22 @@
 Events are scheduled with :meth:`Simulator.schedule` and fire in
 timestamp order; ties break FIFO by insertion order so the simulation
 is fully deterministic for a given seed.
+
+Two kinds of entry live on the heap:
+
+- :class:`~repro.sim.events.Event` — the full synchronization object
+  (value, subscribers, failure propagation);
+- :class:`Timer` — the *fast path*: a bare callback with no value, no
+  subscriber list and no state machine.  ``call_at`` / ``call_in``
+  return Timers, and generator processes that ``yield`` a plain number
+  sleep on one.  A Timer costs one small allocation and one heap push,
+  which is what keeps timer-heavy layers (the fluid network's
+  completion timers, the coordinator's dispatch plan, the resource
+  monitor) off the allocator.
+
+The timestamp arithmetic is deliberately kept identical to the
+original Event-based path (``now + (when - now)`` for absolute
+scheduling) so refactors on top of the fast path stay byte-identical.
 """
 
 from __future__ import annotations
@@ -15,6 +31,29 @@ from typing import Any, Callable, Generator, Optional
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. re-triggering a fired event)."""
+
+
+class Timer:
+    """A scheduled bare callback — the fast-path timer handle.
+
+    ``cancel()`` is O(1): the heap entry stays where it is and fires as
+    a no-op, which is how the fluid network supersedes its completion
+    timer without leaking a closure per recompute.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Optional[Callable[[], Any]]) -> None:
+        self.fn = fn
+
+    def cancel(self) -> None:
+        """Disarm the timer; the pending heap entry becomes a no-op."""
+        self.fn = None
+
+    @property
+    def active(self) -> bool:
+        """True while the callback is still armed."""
+        return self.fn is not None
 
 
 class Simulator:
@@ -44,21 +83,21 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, next(self._eid), event))
 
-    def call_at(self, when: float, fn: Callable[[], Any]) -> "Event":
-        """Run ``fn()`` at absolute simulated time *when* (>= now)."""
-        from repro.sim.events import Event
+    def _push_timer(self, delay: float, fn: Callable[[], Any]) -> Timer:
+        """Push a bare-callback heap entry; no Event machinery."""
+        timer = Timer(fn)
+        heapq.heappush(self._heap, (self._now + delay, next(self._eid), timer))
+        return timer
 
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Timer:
+        """Run ``fn()`` at absolute simulated time *when* (>= now)."""
         if when < self._now:
             raise SimulationError(
                 f"call_at({when}) is in the past (now={self._now})"
             )
-        ev = Event(self)
-        ev.subscribe(lambda _ev: fn())
-        self.schedule(ev, when - self._now)
-        ev._mark_triggered(value=None)
-        return ev
+        return self._push_timer(when - self._now, fn)
 
-    def call_in(self, delay: float, fn: Callable[[], Any]) -> "Event":
+    def call_in(self, delay: float, fn: Callable[[], Any]) -> Timer:
         """Run ``fn()`` after *delay* seconds of simulated time."""
         return self.call_at(self._now + delay, fn)
 
@@ -71,7 +110,13 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> "Timeout":
-        """Create a :class:`Timeout` that fires after *delay* seconds."""
+        """Create a :class:`Timeout` that fires after *delay* seconds.
+
+        A Timeout is a full Event (it can join ``AllOf``/``AnyOf`` and
+        carry a value).  A process that only wants to sleep should
+        ``yield delay`` directly — that uses the :class:`Timer` fast
+        path instead.
+        """
         from repro.sim.events import Timeout
 
         return Timeout(self, delay, value)
@@ -90,11 +135,17 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one pending event."""
-        when, _eid, event = heapq.heappop(self._heap)
+        when, _eid, obj = heapq.heappop(self._heap)
         if when < self._now:
             raise SimulationError("event heap corrupted: time went backwards")
         self._now = when
-        event._fire()
+        if obj.__class__ is Timer:
+            fn = obj.fn
+            if fn is not None:
+                obj.fn = None  # fired: the timer is no longer armed
+                fn()
+        else:
+            obj._fire()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock reaches *until*.
@@ -106,10 +157,27 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            heap = self._heap
+            pop = heapq.heappop
+            timer_cls = Timer
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
                     break
-                self.step()
+                # batch the whole same-timestamp cascade: once an
+                # instant is admitted, drain it (and anything it
+                # schedules for the same instant) without re-checking
+                # `until`
+                self._now = when
+                while heap and heap[0][0] == when:
+                    _, _eid, obj = pop(heap)
+                    if obj.__class__ is timer_cls:
+                        fn = obj.fn
+                        if fn is not None:
+                            obj.fn = None  # fired: no longer armed
+                            fn()
+                    else:
+                        obj._fire()
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -119,14 +187,33 @@ class Simulator:
         """Run until *process* finishes; return its value (raise its error).
 
         *limit* bounds runaway simulations; exceeding it raises
-        :class:`SimulationError`.
+        :class:`SimulationError`.  Shares the reentrancy guard with
+        :meth:`run` — the kernel has exactly one stepper.
         """
-        while not process.processed:
-            if not self._heap:
-                raise SimulationError("deadlock: process pending but no events")
-            if self._heap[0][0] > limit:
-                raise SimulationError(f"simulation exceeded time limit {limit}")
-            self.step()
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            pop = heapq.heappop
+            timer_cls = Timer
+            while not process._processed:
+                if not heap:
+                    raise SimulationError("deadlock: process pending but no events")
+                when = heap[0][0]
+                if when > limit:
+                    raise SimulationError(f"simulation exceeded time limit {limit}")
+                _, _eid, obj = pop(heap)
+                self._now = when
+                if obj.__class__ is timer_cls:
+                    fn = obj.fn
+                    if fn is not None:
+                        obj.fn = None  # fired: no longer armed
+                        fn()
+                else:
+                    obj._fire()
+        finally:
+            self._running = False
         if not process.ok:
             raise process.exception  # type: ignore[misc]
         return process.value

@@ -1,10 +1,20 @@
 """Generator-based simulation processes.
 
-A process wraps a Python generator.  Each ``yield`` hands the kernel an
-:class:`~repro.sim.events.Event`; the process sleeps until that event
-fires, then resumes with the event's value (or has the event's
-exception thrown into it).  A :class:`Process` is itself an event that
-fires when the generator returns, so processes can wait on each other.
+A process wraps a Python generator.  Each ``yield`` hands the kernel
+one of two things:
+
+- an :class:`~repro.sim.events.Event` — the process sleeps until that
+  event fires, then resumes with the event's value (or has the event's
+  exception thrown into it);
+- a plain **number** — shorthand for "sleep this many seconds".  The
+  kernel schedules a bare :class:`~repro.sim.kernel.Timer` (no Event
+  allocation, no subscriber list), which is the fast path the server
+  pipeline's CPU/disk service times and the coordinator's epoch waits
+  ride on.  ``yield 0.25`` behaves exactly like
+  ``yield sim.timeout(0.25)``, resuming with ``None``.
+
+A :class:`Process` is itself an event that fires when the generator
+returns, so processes can wait on each other.
 """
 
 from __future__ import annotations
@@ -12,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.kernel import SimulationError, Simulator, Timer
 
 
 class Interrupt(Exception):
@@ -23,8 +33,23 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _SleepWake:
+    """Event-shaped singleton a sleep timer resumes a process with
+    (always ok, value ``None``), so number sleeps reuse the one
+    resume path instead of duplicating it."""
+
+    __slots__ = ()
+    _ok = True
+    value = None
+
+
+_SLEEP_WAKE = _SleepWake()
+
+
 class Process(Event):
     """A running simulation process (also an awaitable event)."""
+
+    __slots__ = ("_gen", "_waiting_on", "_sleep_timer")
 
     def __init__(self, sim: Simulator, generator: Generator) -> None:
         super().__init__(sim)
@@ -34,6 +59,7 @@ class Process(Event):
             )
         self._gen = generator
         self._waiting_on: Optional[Event] = None
+        self._sleep_timer: Optional[Timer] = None
         # Kick off the generator via an immediate event.
         start = Event(sim)
         start.subscribe(self._resume)
@@ -47,9 +73,9 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its yield point.
 
-        No-op if the process already finished.  The event the process
-        was waiting on stays subscribed-to by nobody (we unsubscribe),
-        so a later firing of that event is ignored by this process.
+        No-op if the process already finished.  The event (or sleep
+        timer) the process was waiting on is detached, so a later
+        firing of that event is ignored by this process.
         """
         if self._triggered:
             return
@@ -57,6 +83,10 @@ class Process(Event):
         if target is not None:
             target.unsubscribe(self._resume)
             self._waiting_on = None
+        timer = self._sleep_timer
+        if timer is not None:
+            timer.cancel()
+            self._sleep_timer = None
         relay = Event(self.sim)
         relay.subscribe(lambda _ev: self._throw_in(Interrupt(cause)))
         relay.succeed()
@@ -92,7 +122,24 @@ class Process(Event):
             return
         self._wait_on(target)
 
+    def _resume_from_sleep(self) -> None:
+        self._sleep_timer = None
+        self._resume(_SLEEP_WAKE)
+
     def _wait_on(self, target: Any) -> None:
+        cls = target.__class__
+        if cls is float or cls is int:
+            # bare-number sleep: one Timer push, no Event machinery
+            if target < 0:
+                self._gen.close()
+                self._finish_failed(
+                    SimulationError(f"negative sleep: {target!r}")
+                )
+                return
+            self._sleep_timer = self.sim._push_timer(
+                target, self._resume_from_sleep
+            )
+            return
         if not isinstance(target, Event):
             err = SimulationError(
                 f"process yielded a non-event: {target!r}"

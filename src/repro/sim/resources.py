@@ -31,6 +31,9 @@ from repro.sim.kernel import SimulationError, Simulator
 class Request(Event):
     """A pending or granted claim on a :class:`Resource`."""
 
+    # ``priority`` is only populated by :class:`PriorityResource`
+    __slots__ = ("resource", "cancelled", "priority")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource

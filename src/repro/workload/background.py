@@ -99,7 +99,7 @@ class BackgroundTraffic:
     def _run(self) -> Generator:
         try:
             while True:
-                yield self.sim.timeout(self._rng.expovariate(self.rate_rps))
+                yield self._rng.expovariate(self.rate_rps)
                 client = self._rng.choice(self.clients)
                 request = self._pick_request(client)
                 rtt = client.latency_to_target.sample_rtt()

@@ -1,0 +1,85 @@
+"""Determinism parity: refactored substrate vs the frozen seed network.
+
+The hot-path refactor (active-link-set allocator, incremental link
+aggregates, cancellable completion timers, bare-Timer sleeps) must be
+*behaviour-preserving*: a world built on the refactored substrate has
+to produce an ``MFCResult`` byte-identical to one built on the seed
+implementation (kept verbatim in ``repro/net/_seed_reference.py``).
+
+This is not only a refactor-safety check — the campaign result caches
+committed under ``benchmarks/results/cache/`` are keyed by world
+parameters, not by code version, so any behaviour drift would silently
+invalidate them.
+
+The test swaps the seed ``Network`` into the topology assembly point
+and compares full-detail encodings (every epoch, every client report,
+every float) across a matrix of scenarios × seeds.
+"""
+
+import json
+
+import pytest
+
+import repro.net.topology as topology_module
+from repro.campaign.codec import encode_result
+from repro.core.config import MFCConfig
+from repro.core.runner import MFCRunner
+from repro.core.stages import StageKind
+from repro.net import _seed_reference
+from repro.server import presets
+from repro.workload.fleet import FleetSpec
+
+
+def _run_world(scenario_factory, stage_kind, seed):
+    config = MFCConfig(
+        threshold_s=0.100,
+        max_crowd=25,
+        crowd_step=5,
+        initial_crowd=5,
+        min_clients=20,
+    )
+    runner = MFCRunner.build(
+        scenario_factory(),
+        fleet_spec=FleetSpec(n_clients=30),
+        config=config,
+        stage_kinds=[stage_kind],
+        seed=seed,
+    )
+    return runner.run()
+
+
+def _canonical(result) -> str:
+    return json.dumps(
+        encode_result(result, detail="full"), sort_keys=True, separators=(",", ":")
+    )
+
+
+MATRIX = [
+    pytest.param(presets.lab_validation_server, StageKind.LARGE_OBJECT, 0,
+                 id="lab-large-object-seed0"),
+    pytest.param(presets.lab_validation_server, StageKind.BASE, 1,
+                 id="lab-base-seed1"),
+    pytest.param(presets.qtnp_server, StageKind.SMALL_QUERY, 0,
+                 id="qtnp-small-query-seed0"),
+    pytest.param(presets.qtnp_server, StageKind.LARGE_OBJECT, 1,
+                 id="qtnp-large-object-seed1"),
+    pytest.param(presets.univ1_server, StageKind.LARGE_OBJECT, 2,
+                 id="univ1-large-object-seed2"),
+]
+
+
+@pytest.mark.parametrize("scenario_factory,stage_kind,seed", MATRIX)
+def test_refactored_world_matches_seed_network(
+    monkeypatch, scenario_factory, stage_kind, seed
+):
+    fast = _canonical(_run_world(scenario_factory, stage_kind, seed))
+    monkeypatch.setattr(topology_module, "Network", _seed_reference.Network)
+    reference = _canonical(_run_world(scenario_factory, stage_kind, seed))
+    assert fast == reference
+
+
+def test_same_world_twice_is_identical():
+    """Run-to-run determinism of the refactored substrate itself."""
+    a = _canonical(_run_world(presets.lab_validation_server, StageKind.LARGE_OBJECT, 3))
+    b = _canonical(_run_world(presets.lab_validation_server, StageKind.LARGE_OBJECT, 3))
+    assert a == b

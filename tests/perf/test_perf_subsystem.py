@@ -1,0 +1,94 @@
+"""Unit tests for the perf benches and baseline machinery."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    bench_allocator,
+    bench_kernel_cascade,
+    bench_kernel_timers,
+    compare_to_baseline,
+    load_bench_file,
+    write_bench_file,
+)
+from repro.perf.baseline import render_comparison
+
+
+def test_kernel_benches_report_throughput():
+    rec = bench_kernel_timers(n_events=2_000, repeats=1)
+    assert rec["events"] == 2_000
+    assert rec["seconds"] > 0
+    assert rec["events_per_s"] == pytest.approx(2_000 / rec["seconds"])
+    cascade = bench_kernel_cascade(n_events=2_000, repeats=1)
+    assert cascade["seconds"] > 0
+
+
+def test_allocator_bench_counts_recomputes():
+    rec = bench_allocator(n_flows=5, n_idle_links=20, n_rounds=2, repeats=1)
+    assert rec["recomputes"] == 2 * (5 + 1)  # joins + one batched sweep
+    assert rec["us_per_recompute"] > 0
+
+
+def test_bench_file_roundtrip(tmp_path):
+    path = str(tmp_path / "BENCH_test.json")
+    payload = {"k": {"seconds": 1.5, "params": {"n": 3}}}
+    write_bench_file(path, payload)
+    assert load_bench_file(path) == payload
+    assert load_bench_file(str(tmp_path / "missing.json")) is None
+
+
+def test_bench_file_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": 99, "benches": {}}))
+    with pytest.raises(ValueError, match="schema"):
+        load_bench_file(str(path))
+
+
+def test_compare_matches_only_identical_params():
+    current = {
+        "a": {"seconds": 1.0, "params": {"n": 10}},
+        "b": {"seconds": 2.0, "params": {"n": 10}},
+    }
+    baseline = {
+        "a": {"seconds": 3.0, "params": {"n": 10}},
+        "b": {"seconds": 9.0, "params": {"n": 20}},  # incomparable
+    }
+    rows = {r["key"]: r for r in compare_to_baseline(current, baseline)}
+    assert rows["a"]["speedup"] == pytest.approx(3.0)
+    assert rows["b"]["speedup"] is None
+    assert rows["b"]["baseline_seconds"] is None
+
+
+def test_compare_flags_fingerprint_drift():
+    current = {
+        "w": {"seconds": 1.0, "params": {}, "fingerprint": "sha256:aa"},
+    }
+    same = {"w": {"seconds": 2.0, "params": {}, "fingerprint": "sha256:aa"}}
+    drift = {"w": {"seconds": 2.0, "params": {}, "fingerprint": "sha256:bb"}}
+    assert compare_to_baseline(current, same)[0]["fingerprint_match"] is True
+    assert compare_to_baseline(current, drift)[0]["fingerprint_match"] is False
+    assert compare_to_baseline(current, None)[0]["fingerprint_match"] is None
+
+
+def test_render_comparison_marks_drift():
+    rows = compare_to_baseline(
+        {"w": {"seconds": 1.0, "params": {}, "fingerprint": "sha256:aa"}},
+        {"w": {"seconds": 2.0, "params": {}, "fingerprint": "sha256:bb"}},
+    )
+    table = render_comparison(rows)
+    assert "DRIFT" in table
+    assert "2.00x" in table
+
+
+def test_committed_baseline_loads_and_has_acceptance_entry():
+    import os
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    baseline = load_bench_file(
+        os.path.join(repo_root, "benchmarks", "results", "BENCH_baseline.json")
+    )
+    assert baseline is not None
+    world = baseline["world.large_object_200"]
+    assert world["params"]["n_clients"] == 200
+    assert world["fingerprint"].startswith("sha256:")

@@ -222,6 +222,39 @@ def test_monitor_network_probe_sees_transfer():
     assert monitor.peak("network_Bps") > 1e5
 
 
+def test_monitor_stop_from_within_sample_sticks():
+    """stop() called by code running inside sample() must end the
+    cycle — _tick may not silently re-arm afterwards."""
+    sim, topo, server = build_world()
+    monitor = ResourceMonitor(sim, server, interval_s=1.0)
+    original_sample = monitor.sample
+
+    def stopping_sample():
+        original_sample()
+        if sim.now >= 2.0:
+            monitor.stop()
+
+    monitor.sample = stopping_sample
+    monitor.start()
+    sim.run(until=10.0)
+    assert len(monitor.trace.probe("pending")) == 2  # t=1 and t=2, then stopped
+
+
+def test_monitor_stop_start_cycle_resumes_sampling():
+    sim, topo, server = build_world()
+    monitor = ResourceMonitor(sim, server, interval_s=1.0)
+    monitor.start()
+    sim.run(until=2.5)
+    monitor.stop()
+    sim.run(until=5.5)
+    monitor.start()
+    sim.run(until=7.5)
+    monitor.stop()
+    sim.run()
+    # samples at t=1,2 then t=6.5,7.5 (restart re-bases the interval)
+    assert len(monitor.trace.probe("pending")) == 4
+
+
 def test_monitor_start_idempotent_and_mean():
     sim, topo, server = build_world()
     monitor = ResourceMonitor(sim, server, interval_s=1.0)

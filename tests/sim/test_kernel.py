@@ -116,6 +116,84 @@ def test_run_until_complete_time_limit():
         sim.run_until_complete(proc, limit=100.0)
 
 
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as err:
+            errors.append(str(err))
+
+    sim.call_in(1.0, reenter)
+    sim.run()
+    assert errors == ["run() is not reentrant"]
+
+
+def test_run_until_complete_shares_reentrancy_guard():
+    sim = Simulator()
+    errors = []
+
+    def body(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    proc = sim.process(body(sim))
+
+    def reenter():
+        try:
+            sim.run_until_complete(proc)
+        except SimulationError as err:
+            errors.append(str(err))
+
+    sim.call_in(1.0, reenter)
+    assert sim.run_until_complete(proc) == "done"
+    assert errors == ["run() is not reentrant"]
+
+
+def test_events_at_exactly_until_fire():
+    sim = Simulator()
+    seen = []
+    sim.call_in(5.0, lambda: seen.append("at"))
+    sim.call_in(5.0, lambda: sim.call_in(0.0, lambda: seen.append("cascade")))
+    sim.call_in(5.1, lambda: seen.append("late"))
+    sim.run(until=5.0)
+    # the same-timestamp cascade at t=5.0 drains; the later event waits
+    assert seen == ["at", "cascade"]
+    assert sim.now == 5.0
+
+
+def test_timer_inactive_after_firing():
+    sim = Simulator()
+    timer = sim.call_in(1.0, lambda: None)
+    assert timer.active
+    sim.run()
+    assert not timer.active  # fired timers are no longer armed
+
+
+def test_timer_cancel_is_noop_at_fire_time():
+    sim = Simulator()
+    seen = []
+    timer = sim.call_in(1.0, lambda: seen.append("fired"))
+    assert timer.active
+    timer.cancel()
+    assert not timer.active
+    sim.run()
+    assert seen == []
+    assert sim.now == 1.0  # the heap entry still advanced the clock
+
+
+def test_timers_and_events_interleave_fifo():
+    sim = Simulator()
+    order = []
+    sim.call_in(1.0, lambda: order.append("timer1"))
+    sim.timeout(1.0).subscribe(lambda _ev: order.append("event"))
+    sim.call_in(1.0, lambda: order.append("timer2"))
+    sim.run()
+    assert order == ["timer1", "event", "timer2"]
+
+
 def test_nested_scheduling_from_callback():
     sim = Simulator()
     seen = []

@@ -89,11 +89,56 @@ def test_yield_non_event_fails_process():
     sim = Simulator()
 
     def body(sim):
-        yield 42  # not an event
+        yield "not an event"
 
     proc = sim.process(body(sim))
     with pytest.raises(SimulationError, match="non-event"):
         sim.run_until_complete(proc)
+
+
+def test_yield_number_sleeps():
+    """``yield <seconds>`` is the fast-path equivalent of a timeout."""
+    sim = Simulator()
+    marks = []
+
+    def body(sim):
+        got = yield 1.5
+        marks.append((sim.now, got))
+        yield 2  # ints sleep too
+        marks.append((sim.now, None))
+
+    sim.process(body(sim))
+    sim.run()
+    assert marks == [(1.5, None), (3.5, None)]
+
+
+def test_yield_negative_number_fails_process():
+    sim = Simulator()
+
+    def body(sim):
+        yield -0.5
+
+    proc = sim.process(body(sim))
+    with pytest.raises(SimulationError, match="negative sleep"):
+        sim.run_until_complete(proc)
+
+
+def test_interrupt_wakes_number_sleep():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield 100.0
+        except Interrupt as intr:
+            log.append(("interrupted", sim.now, intr.cause))
+        yield 1.0
+        log.append(("resumed", sim.now))
+
+    proc = sim.process(sleeper(sim))
+    sim.call_in(5.0, lambda: proc.interrupt("wake"))
+    sim.run()
+    assert log == [("interrupted", 5.0, "wake"), ("resumed", 6.0)]
 
 
 def test_non_generator_rejected():

@@ -126,3 +126,73 @@ def test_parser_rejects_unknown_scenario():
 def test_parser_rejects_unknown_stage():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "qtnp", "--stage", "upload"])
+
+
+# -- repro perf ----------------------------------------------------------------
+
+
+def _stub_perf_suites(monkeypatch, world_fingerprint="sha256:aa"):
+    import repro.perf as perf
+
+    monkeypatch.setattr(
+        perf, "run_kernel_suite",
+        lambda quick=False: {"kernel.stub": {"seconds": 0.5, "params": {"n": 1}}},
+    )
+    monkeypatch.setattr(
+        perf, "run_world_suite",
+        lambda quick=False: {
+            "world.stub": {
+                "seconds": 1.0,
+                "params": {"n": 2},
+                "fingerprint": world_fingerprint,
+            }
+        },
+    )
+
+
+def test_perf_records_and_scores_against_baseline(tmp_path, monkeypatch, capsys):
+    _stub_perf_suites(monkeypatch)
+    out = str(tmp_path)
+    assert main(["perf", "--out", out, "--update-baseline"]) == 0
+    assert main(["perf", "--out", out]) == 0
+    stdout = capsys.readouterr().out
+    assert "1.00x" in stdout
+    assert (tmp_path / "BENCH_kernel.json").exists()
+    assert (tmp_path / "BENCH_world.json").exists()
+
+
+def test_perf_fails_on_fingerprint_drift(tmp_path, monkeypatch, capsys):
+    _stub_perf_suites(monkeypatch)
+    out = str(tmp_path)
+    assert main(["perf", "--out", out, "--update-baseline"]) == 0
+    _stub_perf_suites(monkeypatch, world_fingerprint="sha256:bb")
+    assert main(["perf", "--out", out]) == 1
+    assert "determinism drift" in capsys.readouterr().err
+
+
+def test_perf_fails_closed_when_nothing_is_comparable(tmp_path, monkeypatch, capsys):
+    """A baseline exists but no fingerprinted bench matches it (params
+    changed without --update-baseline): the guard must not pass green."""
+    _stub_perf_suites(monkeypatch)
+    out = str(tmp_path)
+    assert main(["perf", "--out", out, "--update-baseline"]) == 0
+    import repro.perf as perf
+
+    monkeypatch.setattr(
+        perf, "run_world_suite",
+        lambda quick=False: {
+            "world.stub": {
+                "seconds": 1.0,
+                "params": {"n": 99},  # no longer comparable
+                "fingerprint": "sha256:aa",
+            }
+        },
+    )
+    assert main(["perf", "--out", out]) == 1
+    assert "no fingerprinted bench matched" in capsys.readouterr().err
+
+
+def test_perf_without_baseline_succeeds_with_hint(tmp_path, monkeypatch, capsys):
+    _stub_perf_suites(monkeypatch)
+    assert main(["perf", "--out", str(tmp_path)]) == 0
+    assert "record one with --update-baseline" in capsys.readouterr().out
