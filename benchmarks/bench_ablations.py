@@ -15,60 +15,62 @@
 
 import statistics
 
-from benchmarks.conftest import bench_cache, bench_jobs, emit, sweep_config
+from benchmarks.conftest import (
+    bench_cache,
+    bench_jobs,
+    emit,
+    sweep_config,
+    synthetic_world,
+)
 from repro.analysis.tables import TextTable
 from repro.campaign import FULL, CampaignSpec, JobSpec, run_campaign
 from repro.core.config import MFCConfig
 from repro.core.epochs import degradation_aggregate
 from repro.core.records import StageOutcome
-from repro.core.runner import MFCRunner
 from repro.core.stages import StageKind
 from repro.server.presets import qtnp_server
 from repro.workload.fleet import FleetSpec
+from repro.worlds import WorldSpec
 
 
 # -- ablation 1: percentile rule ---------------------------------------------------
 
 
-def run_bottlenecked_large_object(seed=21):
+def bottlenecked_large_object_world(seed=21) -> WorldSpec:
     """A well-provisioned server, but 55% of clients share a congested
-    60 Mbps transit bottleneck several hops away.  Returns the stage."""
-    fleet = FleetSpec(
-        n_clients=65,
-        unresponsive_fraction=0.0,
-        bottleneck_group="transit",
-        bottleneck_fraction=0.55,
-    )
-    runner = MFCRunner.build(
-        qtnp_server(),
-        fleet_spec=fleet,
+    20 Mbps transit bottleneck several hops away."""
+    return WorldSpec(
+        scenario=qtnp_server(),
+        fleet=FleetSpec(
+            n_clients=65,
+            unresponsive_fraction=0.0,
+            bottleneck_group="transit",
+            bottleneck_fraction=0.55,
+        ),
         config=sweep_config(max_crowd=55, min_clients=50),
-        stage_kinds=[StageKind.LARGE_OBJECT],
-        bottleneck_capacity_bps=2.5e6,  # 20 Mbps, far below the 1 Gbps server
+        stage_kinds=(StageKind.LARGE_OBJECT,),
+        bottleneck_capacity_bps=2.5e6,  # far below the 1 Gbps server link
         seed=seed,
     )
-    result = runner.run()
-    return result.stage(StageKind.LARGE_OBJECT.value)
 
 
 def run_percentile_ablation():
-    # one job, but run through the campaign engine at full detail so
-    # the epoch-level reports survive the result cache
+    # one declarative world job, run through the campaign engine at
+    # full detail so the epoch-level reports survive the result cache
     [outcome] = run_campaign(
         CampaignSpec(
             name="ablation-percentile",
             jobs=[
-                JobSpec(
-                    job_id="bottlenecked-large-object|seed21",
-                    func="benchmarks.bench_ablations:run_bottlenecked_large_object",
-                    kwargs={"seed": 21},
+                JobSpec.from_world(
+                    "bottlenecked-large-object|seed21",
+                    bottlenecked_large_object_world(seed=21),
                 )
             ],
         ),
         store=bench_cache("ablations"),
         detail=FULL,
     )
-    return outcome.result
+    return outcome.result.stage(StageKind.LARGE_OBJECT.value)
 
 
 def test_ablation_percentile_rule(benchmark):
@@ -107,38 +109,27 @@ def test_ablation_percentile_rule(benchmark):
 # -- ablation 2: check phase ----------------------------------------------------------
 
 
-def run_transient_blips(check_phase, seed, busy_period_s):
+def transient_blips_world(check_phase, seed, busy_period_s) -> WorldSpec:
     """A server with NO real capacity constraint but transient busy
     windows (a cron job, a log rotation): for ~2.5 s out of every
-    *busy_period_s*, every request takes an extra 300 ms.  Epochs that
-    collide with a window look degraded; the check phase's
-    confirmation epochs run 10+ s later and expose the blip."""
-    from benchmarks.conftest import assemble_synthetic_world
-    from repro.server.synthetic import SyntheticServer
-
-    sim_box = {}
-
-    def blippy_model(pending):
-        now = sim_box["sim"].now
-        return 0.300 if (now % busy_period_s) < 2.5 else 0.0
-
-    def factory(sim, net, link):
-        sim_box["sim"] = sim
-        return SyntheticServer(sim, blippy_model, net, link)
-
-    config = MFCConfig(
-        min_clients=1,
-        max_crowd=55,
-        check_phase=check_phase,
-        threshold_s=0.100,
-        initial_crowd=5,
-        crowd_step=5,
+    *busy_period_s*, every request takes an extra 300 ms — the
+    registry's ``transient-busy`` synthetic model.  Epochs that collide
+    with a window look degraded; the check phase's confirmation epochs
+    run 10+ s later and expose the blip."""
+    return synthetic_world(
+        "transient-busy",
+        {"period_s": busy_period_s, "busy_s": 0.300, "window_s": 2.5},
+        n_clients=60,
+        config=MFCConfig(
+            min_clients=1,
+            max_crowd=55,
+            check_phase=check_phase,
+            threshold_s=0.100,
+            initial_crowd=5,
+            crowd_step=5,
+        ),
+        seed=seed,
     )
-    sim, coordinator, stage, _server = assemble_synthetic_world(
-        factory, n_clients=60, config=config, seed=seed
-    )
-    result = sim.run_until_complete(coordinator.run([stage]))
-    return result.stage(stage.name)
 
 
 def run_checkphase_ablation():
@@ -147,14 +138,9 @@ def run_checkphase_ablation():
     # they fan out over the campaign engine's worker pool
     cases = [(seed, 31.0 + seed) for seed in range(50, 60)]
     jobs = [
-        JobSpec(
-            job_id=f"blips|check{check}|seed{seed}",
-            func="benchmarks.bench_ablations:run_transient_blips",
-            kwargs={
-                "check_phase": check,
-                "seed": seed,
-                "busy_period_s": period,
-            },
+        JobSpec.from_world(
+            f"blips|check{check}|seed{seed}",
+            transient_blips_world(check, seed, period),
         )
         for check in (True, False)
         for seed, period in cases
@@ -164,7 +150,7 @@ def run_checkphase_ablation():
         jobs=bench_jobs(),
         store=bench_cache("ablations"),
     )
-    stages = [o.result for o in outcomes]
+    stages = [o.result.stage(StageKind.BASE.value) for o in outcomes]
     return stages[: len(cases)], stages[len(cases):]
 
 
@@ -205,23 +191,24 @@ def test_ablation_check_phase(benchmark):
 
 
 def run_sync_ablation(naive, seed=41):
-    # a calm fleet: the residual spread under lead-time scheduling is
-    # then pure estimate-vs-live jitter, while the naive dispatch shows
-    # the fleet's full RTT diversity
-    fleet = FleetSpec(
-        n_clients=65,
-        unresponsive_fraction=0.0,
-        spike_node_fraction=0.0,
-        jitter_range=(0.01, 0.04),
-    )
-    runner = MFCRunner.build(
-        qtnp_server(),
-        fleet_spec=fleet,
+    # still a *callable* job — the payload is the post-processed
+    # arrival offsets, not the world's MFCResult — but the world itself
+    # is declarative.  A calm fleet: the residual spread under
+    # lead-time scheduling is then pure estimate-vs-live jitter, while
+    # the naive dispatch shows the fleet's full RTT diversity
+    runner = WorldSpec(
+        scenario=qtnp_server(),
+        fleet=FleetSpec(
+            n_clients=65,
+            unresponsive_fraction=0.0,
+            spike_node_fraction=0.0,
+            jitter_range=(0.01, 0.04),
+        ),
         config=sweep_config(max_crowd=45, step=45, min_clients=50),
-        stage_kinds=[StageKind.BASE],
+        stage_kinds=(StageKind.BASE,),
         use_naive_scheduling=naive,
         seed=seed,
-    )
+    ).build()
     result = runner.run()
     stage = result.stage(StageKind.BASE.value)
     epoch = stage.epochs[0]

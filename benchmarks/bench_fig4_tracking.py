@@ -9,25 +9,26 @@ exponential models.
 
 import pytest
 
-from benchmarks.conftest import assemble_synthetic_world, emit, sweep_config
+from benchmarks.conftest import emit, sweep_config, synthetic_world
 from repro.analysis.figures import ascii_series
 from repro.analysis.stats import mean
-from repro.server.synthetic import SyntheticServer, exponential_model, linear_model
+from repro.core.stages import StageKind
+from repro.server.synthetic import exponential_model, linear_model
 
 MAX_CROWD = 60
 STEP = 5
 
 
-def run_tracking(model, seed=2):
-    config = sweep_config(max_crowd=MAX_CROWD, step=STEP)
-    sim, coordinator, stage, server = assemble_synthetic_world(
-        lambda sim, net, link: SyntheticServer(sim, model, net, link),
+def run_tracking(model_name, params, seed=2):
+    spec = synthetic_world(
+        model_name,
+        params,
         n_clients=MAX_CROWD + 5,
-        config=config,
+        config=sweep_config(max_crowd=MAX_CROWD, step=STEP),
         seed=seed,
     )
-    result = sim.run_until_complete(coordinator.run([stage]))
-    return result.stage(stage.name).crowd_series()
+    result = spec.build().run()
+    return result.stage(StageKind.BASE.value).crowd_series()
 
 
 def tracking_error(series, model):
@@ -36,14 +37,21 @@ def tracking_error(series, model):
 
 
 @pytest.mark.parametrize(
-    "name,model,paper_peak_ms",
+    "name,params,model,paper_peak_ms",
     [
-        ("linear", linear_model(0.005), 300.0),
-        ("exponential", exponential_model(0.0008, 0.12), 1000.0),
+        ("linear", {"seconds_per_request": 0.005}, linear_model(0.005), 300.0),
+        (
+            "exponential",
+            {"scale_s": 0.0008, "rate": 0.12},
+            exponential_model(0.0008, 0.12),
+            1000.0,
+        ),
     ],
 )
-def test_fig4_tracking(benchmark, name, model, paper_peak_ms):
-    series = benchmark.pedantic(run_tracking, args=(model,), rounds=1, iterations=1)
+def test_fig4_tracking(benchmark, name, params, model, paper_peak_ms):
+    series = benchmark.pedantic(
+        run_tracking, args=(name, params), rounds=1, iterations=1
+    )
     ideal = [(crowd, model(crowd)) for crowd, _ in series]
     chart = ascii_series(
         {"ideal": ideal, "mfc-measured": series},

@@ -24,15 +24,9 @@ import pathlib
 
 import pytest
 
-from repro.core.client import MFCClient
 from repro.core.config import MFCConfig
-from repro.core.coordinator import Coordinator
-from repro.core.stages import StageKind, StagePlan
-from repro.net.topology import Topology, TopologySpec
-from repro.server.http import Method
-from repro.sim import Simulator
-from repro.sim.rng import RNGRegistry
-from repro.workload.fleet import FleetSpec, build_fleet
+from repro.workload.fleet import FleetSpec, lan_fleet as _lan_fleet
+from repro.worlds import SyntheticSpec, WorldSpec
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -77,16 +71,8 @@ def emit(name: str, text: str) -> None:
 
 
 def lan_fleet(n_clients: int, rtt: float = 0.002) -> FleetSpec:
-    """The §3 lab setting: clients on the same LAN as the target."""
-    return FleetSpec(
-        n_clients=n_clients,
-        rtt_range=(rtt, rtt * 1.5),
-        coord_rtt_range=(0.001, 0.002),
-        access_bps_choices=(125e6,),  # GigE LAN
-        jitter_range=(0.01, 0.03),
-        spike_node_fraction=0.0,
-        unresponsive_fraction=0.0,
-    )
+    """The §3 lab setting (now a shipped fleet preset in the world layer)."""
+    return _lan_fleet(n_clients, rtt=rtt)
 
 
 def sweep_config(max_crowd: int, step: int = 5, **overrides) -> MFCConfig:
@@ -103,44 +89,28 @@ def sweep_config(max_crowd: int, step: int = 5, **overrides) -> MFCConfig:
     return MFCConfig(**defaults)
 
 
-def assemble_synthetic_world(
-    synthetic_factory,
+def synthetic_world(
+    model: str,
+    params: dict,
     n_clients: int,
     config: MFCConfig,
     seed: int = 0,
     server_access_bps: float = 1e9,
-):
-    """Hand-built world around a SyntheticServer (no site content).
+) -> WorldSpec:
+    """Declarative world around a registered synthetic-server model.
 
-    *synthetic_factory(sim, network, access_link)* builds the server.
-    Returns ``(sim, coordinator, stage, server)`` ready for
-    ``coordinator.run([stage])``.
+    *model*/*params* name an entry of the world layer's
+    ``SYNTHETIC_MODELS`` registry; ``.build()`` on the returned spec
+    yields a ready-to-run ``MFCRunner`` with the one fixed probe stage.
     """
-    rngs = RNGRegistry(seed)
-    sim = Simulator()
-    fleet = build_fleet(lan_fleet(n_clients), rng=rngs.stream("fleet"))
-    topo = Topology(
-        sim,
-        TopologySpec(server_access_bps=server_access_bps, clients=fleet),
-        rngs=rngs.fork("topology"),
+    return WorldSpec(
+        synthetic=SyntheticSpec(
+            model=model, params=dict(params), server_access_bps=server_access_bps
+        ),
+        fleet=lan_fleet(n_clients),
+        config=config,
+        seed=seed,
     )
-    server = synthetic_factory(sim, topo.network, topo.server_access)
-    clients = [
-        MFCClient(sim, node, server, topo.control, config,
-                  rng=rngs.stream(f"client.{node.client_id}"))
-        for node in topo.clients
-    ]
-    coordinator = Coordinator(
-        sim, clients, topo.control, config,
-        target_name="synthetic", rng=rngs.stream("coordinator"),
-    )
-    stage = StagePlan(
-        kind=StageKind.BASE,
-        method=Method.GET,
-        degradation_quantile=0.5,
-        object_paths=("/probe",),
-    )
-    return sim, coordinator, stage, server
 
 
 @pytest.fixture

@@ -18,6 +18,10 @@ The package is layered bottom-up:
 - :mod:`repro.core` — the paper's contribution: the MFC coordinator,
   client agents, stage/epoch engine, synchronization scheduler,
   constraint inference and the MFC-mr / staggered / measurer variants.
+- :mod:`repro.worlds` — the declarative world layer: one serializable
+  :class:`~repro.worlds.spec.WorldSpec` per experiment world, with
+  canonical JSON encode/decode, a stable SHA-256 identity and the
+  registries of named scenario/fleet/synthetic-server components.
 - :mod:`repro.campaign` — parallel experiment campaigns: declarative
   job grids, a process-pool executor with a deterministic sequential
   fallback, and a resumable JSONL result cache.

@@ -37,9 +37,23 @@ def bucket_label(stopping_size: Optional[int]) -> str:
     return f">{STOPPING_BUCKETS[-1][1]}"
 
 
-def bucket_labels() -> List[str]:
-    """All bucket labels in stacking order (No-Stop last)."""
-    return [f"{lo}-{hi}" for lo, hi in STOPPING_BUCKETS] + [NO_STOP_LABEL]
+def bucket_labels(include_skipped: bool = False) -> List[str]:
+    """All bucket labels in stacking order.
+
+    Covers every label a *measured* :class:`SiteMeasurement` can land
+    in: the (low, high] ranges, the ``>50`` overflow for
+    cooperating-site crowds past the last bucket (omitting it here used
+    to silently drop those sites from stacked §5 tables and figures)
+    and ``No-Stop``.  With *include_skipped* the ``Skipped`` label is
+    appended last — pair it with ``breakdown(include_skipped=True)``,
+    whose denominator then covers skipped sites too.
+    """
+    labels = [f"{lo}-{hi}" for lo, hi in STOPPING_BUCKETS]
+    labels.append(f">{STOPPING_BUCKETS[-1][1]}")
+    labels.append(NO_STOP_LABEL)
+    if include_skipped:
+        labels.append(SKIPPED_LABEL)
+    return labels
 
 
 @dataclass
@@ -76,23 +90,28 @@ class StudyResult:
                 seen.append(m.stratum)
         return seen
 
-    def breakdown(self, stratum: Optional[str] = None) -> Dict[str, float]:
+    def breakdown(
+        self,
+        stratum: Optional[str] = None,
+        include_skipped: bool = False,
+    ) -> Dict[str, float]:
         """Bucket → fraction for one stratum (or the whole population).
 
-        Sites whose stage was skipped (no qualifying object) are
-        excluded from the denominator, matching the paper's per-stage
-        site counts.
+        By default sites whose stage was skipped (no qualifying
+        object) are excluded from the denominator, matching the
+        paper's per-stage site counts; *include_skipped* instead keeps
+        them as a ``Skipped`` bucket over the full site count.
         """
         rows = [
             m
             for m in self.measurements
             if (stratum is None or m.stratum == stratum)
-            and m.outcome is not StageOutcome.SKIPPED
+            and (include_skipped or m.outcome is not StageOutcome.SKIPPED)
         ]
         if not rows:
             return {}
         fractions: Dict[str, float] = {}
-        for label in bucket_labels():
+        for label in bucket_labels(include_skipped=include_skipped):
             count = sum(1 for m in rows if m.bucket == label)
             fractions[label] = count / len(rows)
         return fractions

@@ -5,7 +5,8 @@ independent, deterministic MFC worlds.  This package turns such grids
 into *campaigns*:
 
 - :mod:`repro.campaign.spec` — declarative grids expanded into
-  :class:`JobSpec` entries with stable SHA-256 job keys;
+  :class:`JobSpec` entries (world / scenario / callable payloads) with
+  stable SHA-256 job keys hashed by :mod:`repro.worlds.codec`;
 - :mod:`repro.campaign.executor` — a process-pool executor with a
   byte-identical sequential fallback;
 - :mod:`repro.campaign.store` — an append-only JSONL result store, so

@@ -44,6 +44,9 @@ class JobOutcome:
 
 def execute_job(job: JobSpec, detail: str = SUMMARY) -> Dict:
     """Run one job in this process; return the encoded result."""
+    if job.world is not None:
+        runner = job.world.build()
+        return encode_result(runner.run(time_limit_s=job.time_limit_s), detail)
     if job.func is not None:
         module_name, _, func_name = job.func.partition(":")
         func = getattr(importlib.import_module(module_name), func_name)

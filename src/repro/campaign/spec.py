@@ -9,32 +9,34 @@ execution-relevant parameters.  The key is what makes campaigns
 resumable — an interrupted run skips every job whose key is already in
 the result store, and repeated benchmark runs hit cache.
 
-Two job payloads exist:
+Three job payloads exist:
 
+- **world jobs** carry a declarative
+  :class:`~repro.worlds.spec.WorldSpec` verbatim — the preferred
+  payload: anything the world layer can describe (preset scenarios,
+  ablation topologies, named synthetic servers) is campaignable;
 - **scenario jobs** rebuild an :class:`~repro.core.runner.MFCRunner`
-  world (the §4/§5 experiments);
+  world from ``(scenario, fleet, config, seed, ...)`` fields — the
+  historical §4/§5 payload, kept so existing job keys stay stable;
 - **callable jobs** name a module-level function (``"pkg.mod:func"``)
-  and JSON-able kwargs — the escape hatch for hand-built worlds such
-  as the ablation harnesses, which assemble synthetic servers the
-  scenario vocabulary cannot express.
+  and JSON-able kwargs — the residual escape hatch for jobs that
+  post-process a world beyond its ``MFCResult`` (e.g. the
+  synchronization ablation's access-log arrival offsets).
 """
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import __version__
-from repro.content.site import SiteContent
 from repro.core.config import MFCConfig
 from repro.core.stages import StageKind
 from repro.server.presets import Scenario
 from repro.workload.fleet import FleetSpec
 from repro.workload.populations import PopulationSite
+from repro.worlds.codec import stable_key
+from repro.worlds.spec import WorldSpec
 
 #: per-site seed stride — the historical ``run_stage_study`` formula
 #: ``seed * 1_000_003 + site_index``; campaigns must reproduce it so a
@@ -45,52 +47,6 @@ SEED_STRIDE = 1_000_003
 def derive_site_seed(base_seed: int, site_index: int) -> int:
     """The study driver's per-site world seed."""
     return base_seed * SEED_STRIDE + site_index
-
-
-#: display-only dataclass fields excluded from job keys, so editing
-#: them never invalidates cached results
-_COSMETIC_FIELDS = {"Scenario": {"notes"}}
-
-
-def _canonical(obj):
-    """Reduce *obj* to a JSON-able form that is stable across runs.
-
-    Only data that changes execution belongs here: dataclass specs,
-    enums, site content, containers and primitives (cosmetic fields
-    like ``Scenario.notes`` are skipped).  Floats pass through
-    untouched — ``json.dumps`` renders them via ``repr``, which
-    round-trips exactly.
-    """
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        skip = _COSMETIC_FIELDS.get(type(obj).__name__, ())
-        return {
-            "__dc__": type(obj).__name__,
-            **{
-                f.name: _canonical(getattr(obj, f.name))
-                for f in dataclasses.fields(obj)
-                if f.name not in skip
-            },
-        }
-    if isinstance(obj, enum.Enum):
-        return {"__enum__": type(obj).__name__, "value": obj.value}
-    if isinstance(obj, SiteContent):
-        return {
-            "__site__": obj.base_page,
-            "objects": [_canonical(o) for o in obj.objects()],
-        }
-    if isinstance(obj, (list, tuple)):
-        return [_canonical(x) for x in obj]
-    if isinstance(obj, dict):
-        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a job key")
-
-
-def stable_key(obj) -> str:
-    """SHA-256 hex digest of the canonical encoding of *obj*."""
-    encoded = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -110,13 +66,19 @@ class JobSpec:
     #: callable-job payload: ``"package.module:function"``
     func: Optional[str] = None
     kwargs: Dict = field(default_factory=dict)
+    #: world-job payload: a declarative world, carried verbatim
+    world: Optional[WorldSpec] = None
     #: passthrough labels (site_id, stratum, ...) — never hashed
     meta: Dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if (self.scenario is None) == (self.func is None):
+        payloads = [
+            p for p in (self.scenario, self.func, self.world) if p is not None
+        ]
+        if len(payloads) != 1:
             raise ValueError(
-                f"job {self.job_id!r} needs exactly one of scenario= or func="
+                f"job {self.job_id!r} needs exactly one of scenario=, "
+                "func= or world="
             )
         if self.func is not None and ":" not in self.func:
             raise ValueError(f"func must look like 'pkg.mod:callable': {self.func!r}")
@@ -126,26 +88,45 @@ class JobSpec:
         """Stable identity of this job's execution parameters."""
         cached = self.__dict__.get("_key")
         if cached is None:
-            cached = stable_key(
-                {
-                    # simulator behaviour can change between releases;
-                    # versioning the key keeps old stores from silently
-                    # replaying stale results (wipe the store, or bump
-                    # __version__, after behavioural changes mid-release)
-                    "repro_version": __version__,
-                    "scenario": self.scenario,
-                    "stage_kinds": self.stage_kinds,
-                    "config": self.config,
-                    "fleet_spec": self.fleet_spec,
-                    "seed": self.seed,
-                    "runner_kwargs": self.runner_kwargs,
-                    "time_limit_s": self.time_limit_s,
-                    "func": self.func,
-                    "kwargs": self.kwargs,
-                }
-            )
+            payload = {
+                # simulator behaviour can change between releases;
+                # versioning the key keeps old stores from silently
+                # replaying stale results (wipe the store, or bump
+                # __version__, after behavioural changes mid-release)
+                "repro_version": __version__,
+                "scenario": self.scenario,
+                "stage_kinds": self.stage_kinds,
+                "config": self.config,
+                "fleet_spec": self.fleet_spec,
+                "seed": self.seed,
+                "runner_kwargs": self.runner_kwargs,
+                "time_limit_s": self.time_limit_s,
+                "func": self.func,
+                "kwargs": self.kwargs,
+            }
+            # only present for world jobs, so pre-existing scenario and
+            # callable job keys stay byte-stable across releases
+            if self.world is not None:
+                payload["world"] = self.world
+            cached = stable_key(payload)
             self.__dict__["_key"] = cached
         return cached
+
+    @classmethod
+    def from_world(
+        cls,
+        job_id: str,
+        world: WorldSpec,
+        time_limit_s: float = 1e7,
+        meta: Optional[Dict] = None,
+    ) -> "JobSpec":
+        """A job that runs one declarative world to completion."""
+        return cls(
+            job_id=job_id,
+            world=world,
+            time_limit_s=time_limit_s,
+            meta=dict(meta or {}),
+        )
 
 
 ScenarioLike = Union[PopulationSite, Tuple[str, Scenario], Scenario]

@@ -1,21 +1,29 @@
 """Command-line interface: run MFC experiments from a shell.
 
     python -m repro list
+    python -m repro list --json
     python -m repro run qtnp --threshold-ms 100 --max-crowd 55 --seed 1
     python -m repro run univ3 --mr 2 --threshold-ms 250 --background 20.3
     python -m repro run univ2 --mr 2 --threshold-ms 250 --stage Base
     python -m repro run qtnp --jobs 3 --cache /tmp/qtnp.jsonl
+    python -m repro spec dump qtnp --max-crowd 55 --seed 1 > world.json
+    python -m repro run --spec world.json
     python -m repro campaign quantcast --scale 0.1 --jobs 8 --cache /tmp/qc.jsonl
 
 ``run`` prints the experiment summary and the inferred constraint
 report, and exits non-zero if the experiment aborted (e.g. too few
-live clients).  ``campaign`` measures a whole generated population
-(the paper's §5 study) through the parallel campaign engine.
+live clients).  ``spec dump`` exports a preset as a declarative
+:class:`~repro.worlds.spec.WorldSpec` JSON document, which ``run
+--spec`` — after any hand edits — turns back into a runnable world.
+``campaign`` measures a whole generated population (the paper's §5
+study) through the parallel campaign engine.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 from typing import List, Optional
 
@@ -23,24 +31,14 @@ from repro.campaign.executor import run_campaign
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.core.config import MFCConfig
 from repro.core.inference import infer_constraints
-from repro.core.runner import MFCRunner
 from repro.core.stages import StageKind
 from repro.core.variants import mfc_mr_config, staggered_config
-from repro.server import presets
 from repro.workload.fleet import FleetSpec
+from repro.worlds import FLEET_PRESETS, SCENARIO_PRESETS, SYNTHETIC_MODELS, WorldSpec
+from repro.worlds import codec as world_codec
 
-SCENARIOS = {
-    "lab": presets.lab_validation_server,
-    "lab-fastcgi": lambda: presets.lab_validation_server("fastcgi"),
-    "qtnp": presets.qtnp_server,
-    "qtp": presets.qtp_cluster,
-    "univ1": presets.univ1_server,
-    "univ2": presets.univ2_server,
-    "univ3": presets.univ3_server,
-    "flash-sale": presets.cdn_flash_sale,
-    "api-micro": presets.api_microservice,
-    "budget-vps": presets.budget_vps,
-}
+#: historical alias — the preset registry lives in the world layer now
+SCENARIOS = SCENARIO_PRESETS
 
 STAGE_NAMES = {kind.value.lower(): kind for kind in StageKind}
 
@@ -54,31 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available target scenarios")
+    list_p = sub.add_parser("list", help="list available target scenarios")
+    list_p.add_argument("--json", action="store_true",
+                        help="machine-readable inventory: scenarios, fleet "
+                             "presets, stage kinds, synthetic models")
 
     run = sub.add_parser("run", help="run an MFC experiment against a scenario")
-    run.add_argument("scenario", choices=sorted(SCENARIOS))
-    run.add_argument("--threshold-ms", type=float, default=100.0,
-                     help="θ degradation threshold (default 100)")
-    run.add_argument("--max-crowd", type=int, default=55,
-                     help="crowd-size cap in requests (default 55)")
-    run.add_argument("--step", type=int, default=5,
-                     help="crowd increment per epoch (default 5)")
-    run.add_argument("--clients", type=int, default=65,
-                     help="fleet size (default 65)")
-    run.add_argument("--min-clients", type=int, default=None,
-                     help="abort below this many live clients "
-                          "(default: the paper's 50, clamped to the fleet)")
-    run.add_argument("--mr", type=int, default=1, metavar="M",
-                     help="MFC-mr: parallel requests per client (default 1)")
-    run.add_argument("--stagger-ms", type=float, default=None,
-                     help="staggered MFC: one arrival per this many ms")
-    run.add_argument("--stage", action="append", default=None,
-                     choices=sorted(STAGE_NAMES),
-                     help="restrict to a stage (repeatable; default: all)")
-    run.add_argument("--background", type=float, default=None,
-                     help="override background traffic (requests/second)")
-    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("scenario", nargs="?", choices=sorted(SCENARIOS),
+                     help="preset scenario (omit when using --spec)")
+    run.add_argument("--spec", default=None, metavar="PATH",
+                     help="run a declarative WorldSpec JSON document "
+                          "(see `repro spec dump`) instead of a preset")
+    _add_world_arguments(run)
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="run each stage as its own world, N in parallel "
                           "(any value, even 1, switches to per-stage "
@@ -88,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "--jobs): finished stages are never recomputed")
     run.add_argument("--quiet", action="store_true",
                      help="print only the one-line stage outcomes")
+
+    spec = sub.add_parser(
+        "spec",
+        help="inspect/export declarative world specifications",
+    )
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    dump = spec_sub.add_parser(
+        "dump",
+        help="export a preset scenario as a WorldSpec JSON document",
+    )
+    dump.add_argument("scenario", choices=sorted(SCENARIOS))
+    _add_world_arguments(dump)
+    dump.add_argument("--out", default=None, metavar="PATH",
+                      help="write the document here (default: stdout)")
 
     campaign = sub.add_parser(
         "campaign",
@@ -114,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "resumes from it without recomputation")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress progress reporting")
+    campaign.add_argument("--dry-run", action="store_true",
+                          help="expand the campaign and print job counts "
+                               "and the key digest without running anything")
 
     perf = sub.add_parser(
         "perf",
@@ -130,6 +132,49 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--update-baseline", action="store_true",
                       help="record this run as the new baseline")
     return parser
+
+
+#: arg-dest → default for every world-shaping flag; ``run --spec``
+#: rejects non-default values (the document, not the flags, is the world)
+_WORLD_FLAG_DEFAULTS = {
+    "threshold_ms": 100.0,
+    "max_crowd": 55,
+    "step": 5,
+    "clients": 65,
+    "min_clients": None,
+    "mr": 1,
+    "stagger_ms": None,
+    "stage": None,
+    "background": None,
+    "seed": 0,
+}
+
+
+def _add_world_arguments(parser) -> None:
+    """Flags shared by ``run`` and ``spec dump`` — everything that
+    shapes the world they describe."""
+    d = _WORLD_FLAG_DEFAULTS
+    parser.add_argument("--threshold-ms", type=float, default=d["threshold_ms"],
+                        help="θ degradation threshold (default 100)")
+    parser.add_argument("--max-crowd", type=int, default=d["max_crowd"],
+                        help="crowd-size cap in requests (default 55)")
+    parser.add_argument("--step", type=int, default=d["step"],
+                        help="crowd increment per epoch (default 5)")
+    parser.add_argument("--clients", type=int, default=d["clients"],
+                        help="fleet size (default 65)")
+    parser.add_argument("--min-clients", type=int, default=d["min_clients"],
+                        help="abort below this many live clients "
+                             "(default: the paper's 50, clamped to the fleet)")
+    parser.add_argument("--mr", type=int, default=d["mr"], metavar="M",
+                        help="MFC-mr: parallel requests per client (default 1)")
+    parser.add_argument("--stagger-ms", type=float, default=d["stagger_ms"],
+                        help="staggered MFC: one arrival per this many ms")
+    parser.add_argument("--stage", action="append", default=d["stage"],
+                        choices=sorted(STAGE_NAMES),
+                        help="restrict to a stage (repeatable; default: all)")
+    parser.add_argument("--background", type=float, default=d["background"],
+                        help="override background traffic (requests/second)")
+    parser.add_argument("--seed", type=int, default=d["seed"])
 
 
 def _default_min_clients(clients: int) -> int:
@@ -172,38 +217,63 @@ def _describe_scenario(scenario) -> str:
     return f"{model:<38} {scenario.notes or scenario.name}"
 
 
-def cmd_list(_args) -> int:
+def cmd_list(args) -> int:
+    if getattr(args, "json", False):
+        print(json.dumps(_inventory(), indent=2, sort_keys=True))
+        return 0
     for name in sorted(SCENARIOS):
         scenario = SCENARIOS[name]()
         print(f"{name:<12} {_describe_scenario(scenario)}")
     return 0
 
 
-def cmd_run(args) -> int:
-    scenario = SCENARIOS[args.scenario]()
-    if args.background is not None:
-        scenario = scenario.with_background(args.background)
-    stage_kinds = (
-        [STAGE_NAMES[s] for s in args.stage] if args.stage else None
-    )
-    # --jobs (any value, even 1) selects the per-stage campaign path,
-    # so sweeping N never changes experiment semantics; the shared
-    # single-world path has no job grid, so --cache alone is an error
-    # rather than a silent switch to per-stage worlds
-    if args.cache is not None and args.jobs is None:
-        print("repro run: --cache requires --jobs", file=sys.stderr)
-        return 2
-    if args.jobs is not None:
-        return _run_stages_campaign(args, scenario, stage_kinds)
-    runner = MFCRunner.build(
-        scenario,
-        fleet_spec=FleetSpec(n_clients=args.clients),
+def _inventory() -> dict:
+    """The machine-readable preset inventory behind ``list --json``."""
+    from repro.core.profiler import profile_site
+    from repro.core.stages import standard_stages
+
+    scenarios = {}
+    for name in sorted(SCENARIOS):
+        scenario = SCENARIOS[name]()
+        spec = scenario.server_spec
+        scenarios[name] = {
+            "server": spec.name,
+            "cpu_cores": spec.cpu_cores,
+            "n_servers": scenario.n_servers,
+            "access_mbps": scenario.server_access_bps * 8 / 1e6,
+            "background_rps": scenario.background_rps,
+            "stages": [
+                s.kind.value for s in standard_stages(profile_site(scenario.site))
+            ],
+            "notes": scenario.notes,
+        }
+    return {
+        "scenarios": scenarios,
+        "stage_kinds": [kind.value for kind in StageKind],
+        "fleet_presets": {
+            name: world_codec.encode(factory())
+            for name, factory in sorted(FLEET_PRESETS.items())
+        },
+        "synthetic_models": sorted(SYNTHETIC_MODELS),
+    }
+
+
+def _world_from_args(args, scenario) -> WorldSpec:
+    """The declarative world the shared run/dump flags describe."""
+    return WorldSpec(
+        scenario=scenario,
+        fleet=FleetSpec(n_clients=args.clients),
         config=_build_config(args),
-        stage_kinds=stage_kinds,
         seed=args.seed,
+        stage_kinds=(
+            tuple(STAGE_NAMES[s] for s in args.stage) if args.stage else None
+        ),
+        background_rps=args.background,
     )
-    result = runner.run()
-    if args.quiet:
+
+
+def _report_result(result, quiet: bool) -> int:
+    if quiet:
         for name, stage in result.stages.items():
             print(f"{name}\t{stage.describe()}")
     else:
@@ -213,23 +283,84 @@ def cmd_run(args) -> int:
     return 1 if result.aborted else 0
 
 
-def _run_stages_campaign(args, scenario, stage_kinds) -> int:
+def cmd_run(args) -> int:
+    if (args.scenario is None) == (args.spec is None):
+        print("repro run: give exactly one of a scenario or --spec",
+              file=sys.stderr)
+        return 2
+    # --jobs (any value, even 1) selects the per-stage campaign path,
+    # so sweeping N never changes experiment semantics; the shared
+    # single-world path has no job grid, so --cache alone is an error
+    # rather than a silent switch to per-stage worlds
+    if args.cache is not None and args.jobs is None:
+        print("repro run: --cache requires --jobs", file=sys.stderr)
+        return 2
+    if args.spec is not None:
+        if args.jobs is not None:
+            print("repro run: --spec runs a single world (no --jobs)",
+                  file=sys.stderr)
+            return 2
+        overridden = sorted(
+            "--" + dest.replace("_", "-")
+            for dest, default in _WORLD_FLAG_DEFAULTS.items()
+            if getattr(args, dest) != default
+        )
+        if overridden:
+            print(
+                "repro run: world flags have no effect with --spec "
+                f"({', '.join(overridden)}); edit the document instead",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                world = WorldSpec.from_json(fh.read())
+        except (OSError, ValueError) as exc:
+            print(f"repro run: cannot load spec {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            runner = world.build()
+        except ValueError as exc:
+            print(f"repro run: invalid world spec {args.spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+        return _report_result(runner.run(), args.quiet)
+    world = _world_from_args(args, SCENARIOS[args.scenario]())
+    if args.jobs is not None:
+        return _run_stages_campaign(args, world)
+    return _report_result(world.build().run(), args.quiet)
+
+
+def cmd_spec(args) -> int:
+    if args.spec_command == "dump":
+        world = _world_from_args(args, SCENARIOS[args.scenario]())
+        text = world.to_json()
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out} (spec hash {world.spec_hash[:12]})",
+                  file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    raise AssertionError(f"unknown spec subcommand {args.spec_command!r}")
+
+
+def _run_stages_campaign(args, world: WorldSpec) -> int:
     """``run --jobs N``: each stage in its own world, N in parallel.
 
     Unlike the default single-world run, the stages do not share
     server state (warm caches etc.) — each result matches a
     single-``--stage`` invocation with the same seed.
     """
-    kinds = stage_kinds if stage_kinds else list(StageKind)
-    config = _build_config(args)
+    import dataclasses
+
+    kinds = world.stage_kinds if world.stage_kinds else tuple(StageKind)
     job_specs = [
-        JobSpec(
-            job_id=f"{args.scenario}|{kind.value}|seed{args.seed}",
-            scenario=scenario,
-            stage_kinds=(kind,),
-            config=config,
-            fleet_spec=FleetSpec(n_clients=args.clients),
-            seed=args.seed,
+        JobSpec.from_world(
+            f"{args.scenario}|{kind.value}|seed{world.seed}",
+            dataclasses.replace(world, stage_kinds=(kind,)),
         )
         for kind in kinds
     ]
@@ -241,7 +372,7 @@ def _run_stages_campaign(args, scenario, stage_kinds) -> int:
     # (summary + constraint report) matches the sequential path's shape
     from repro.core.records import MFCResult
 
-    merged = MFCResult(target_name=scenario.name)
+    merged = MFCResult(target_name=world.scenario.name)
     for kind, outcome in zip(kinds, outcomes):
         result = outcome.result
         if result.aborted:
@@ -296,6 +427,22 @@ def cmd_campaign(args) -> int:
         if args.stage
         else [StageKind.BASE]
     )
+    if args.dry_run:
+        # expansion smoke: job counts and the key digest must be stable
+        # run-to-run for a given population/scale/seed (CI asserts this)
+        for stage in stages:
+            spec = CampaignSpec.for_study(
+                sites, stage, config=config, fleet_spec=fleet_spec, seed=args.seed
+            )
+            jobs = spec.expand()
+            keys = [job.key for job in jobs]
+            digest = hashlib.sha256("".join(keys).encode("ascii")).hexdigest()
+            print(
+                f"campaign {spec.name}: {len(jobs)} jobs, "
+                f"{len(set(keys))} distinct keys"
+            )
+            print(f"keys-digest: sha256:{digest}")
+        return 0
     for stage in stages:
         result = run_stage_study(
             sites,
@@ -392,6 +539,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
+    if args.command == "spec":
+        return cmd_spec(args)
     if args.command == "campaign":
         return cmd_campaign(args)
     if args.command == "perf":

@@ -1,10 +1,12 @@
 """One-call experiment assembly.
 
-:class:`MFCRunner` wires a :class:`~repro.server.presets.Scenario`
-(server side), a :class:`~repro.workload.fleet.FleetSpec` (client
-side), an :class:`~repro.core.config.MFCConfig` and a seed into a
-ready-to-run world: topology, server or cluster, background traffic,
-MFC clients, coordinator, optional resource monitor.
+:class:`MFCRunner` is a fully assembled, ready-to-run experiment
+world: topology, server or cluster (or a synthetic validation server),
+background traffic, MFC clients, coordinator, optional resource
+monitor.  Assembly itself lives in the declarative world layer —
+:class:`~repro.worlds.spec.WorldSpec` is the single description of a
+world, and :meth:`MFCRunner.build` is a thin convenience wrapper that
+packs its arguments into a spec and calls ``WorldSpec.build()``.
 
     runner = MFCRunner.build(qtnp_server(), seed=1)
     result = runner.run()
@@ -14,28 +16,22 @@ MFC clients, coordinator, optional resource monitor.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence
 
 from repro.content.classifier import ContentProfile
 from repro.core.client import MFCClient
 from repro.core.config import MFCConfig
 from repro.core.coordinator import Coordinator
-from repro.core.profiler import profile_site
 from repro.core.records import MFCResult
-from repro.core.stages import StageKind, StagePlan, standard_stages
-from repro.net.topology import ClientSpec, Topology, TopologySpec
+from repro.core.stages import StageKind, StagePlan
+from repro.net.topology import Topology
 from repro.server.cluster import LoadBalancedCluster
 from repro.server.monitor import ResourceMonitor
 from repro.server.presets import Scenario
 from repro.server.webserver import SimWebServer
 from repro.sim.kernel import Simulator
-from repro.sim.rng import RNGRegistry
 from repro.workload.background import BackgroundTraffic
-from repro.workload.fleet import FleetSpec, build_fleet
-
-#: nodes used by background traffic (never part of the MFC crowd)
-N_BACKGROUND_CLIENTS = 8
+from repro.workload.fleet import FleetSpec
 
 
 class MFCRunner:
@@ -49,11 +45,12 @@ class MFCRunner:
         servers: List[SimWebServer],
         clients: List[MFCClient],
         coordinator: Coordinator,
-        background: BackgroundTraffic,
+        background: Optional[BackgroundTraffic],
         stages: List[StagePlan],
-        profile: ContentProfile,
+        profile: Optional[ContentProfile],
         monitor: Optional[ResourceMonitor],
-        scenario: Scenario,
+        scenario: Optional[Scenario],
+        world_spec=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -66,6 +63,9 @@ class MFCRunner:
         self.profile = profile
         self.monitor = monitor
         self.scenario = scenario
+        #: the :class:`~repro.worlds.spec.WorldSpec` this world was
+        #: assembled from (None for hand-wired worlds)
+        self.world_spec = world_spec
 
     # -- construction ---------------------------------------------------------
 
@@ -82,147 +82,52 @@ class MFCRunner:
         use_naive_scheduling: bool = False,
         bottleneck_capacity_bps: Optional[float] = None,
     ) -> "MFCRunner":
-        """Assemble a world.
+        """Assemble a world (thin wrapper over ``WorldSpec.build()``).
 
         *stage_kinds* restricts which stages run (default: all the
         profile supports).  *monitor_interval_s* attaches an
         ``atop``-style monitor to the (first) server.
         """
-        config = config if config is not None else MFCConfig()
-        config.validate()
-        fleet_spec = fleet_spec if fleet_spec is not None else FleetSpec()
-        rngs = RNGRegistry(seed)
-        sim = Simulator()
+        from repro.worlds.spec import WorldSpec
 
-        fleet = build_fleet(fleet_spec, rng=rngs.stream("fleet"))
-        bg_specs = [
-            ClientSpec(
-                client_id=f"bg{i:02d}",
-                rtt_to_target=0.030 + 0.01 * i,
-                rtt_to_coord=0.020,
-                access_bps=12.5e6,
-                jitter=0.05,
-            )
-            for i in range(N_BACKGROUND_CLIENTS)
-        ]
-        topo_spec = TopologySpec(
-            server_access_bps=scenario.server_access_bps,
-            clients=list(fleet) + bg_specs,
-            shared_bottlenecks=(
-                {
-                    fleet_spec.bottleneck_group: (
-                        bottleneck_capacity_bps
-                        if bottleneck_capacity_bps is not None
-                        else scenario.server_access_bps / 2
-                    )
-                }
-                if fleet_spec.bottleneck_group is not None
-                else {}
-            ),
-            control_loss_prob=control_loss_prob,
-        )
-        topology = Topology(sim, topo_spec, rngs=rngs.fork("topology"))
-
-        servers = [
-            SimWebServer(
-                sim,
-                (
-                    scenario.server_spec
-                    if scenario.n_servers == 1
-                    else type(scenario.server_spec)(
-                        **{
-                            **scenario.server_spec.__dict__,
-                            "name": f"{scenario.server_spec.name}-{i}",
-                        }
-                    )
-                ),
-                scenario.site,
-                topology.network,
-                topology.server_access,
-            )
-            for i in range(scenario.n_servers)
-        ]
-        service = (
-            servers[0]
-            if scenario.n_servers == 1
-            else LoadBalancedCluster(sim, servers)
-        )
-
-        fleet_nodes = [topology.client(spec.client_id) for spec in fleet]
-        bg_nodes = [topology.client(spec.client_id) for spec in bg_specs]
-
-        clients = [
-            MFCClient(
-                sim,
-                node,
-                service,
-                topology.control,
-                config,
-                rng=rngs.stream(f"client.{node.client_id}"),
-            )
-            for node in fleet_nodes
-        ]
-        coordinator = Coordinator(
-            sim,
-            clients,
-            topology.control,
-            config,
-            target_name=scenario.name,
-            rng=rngs.stream("coordinator"),
-            use_naive_scheduling=use_naive_scheduling,
-        )
-        background = BackgroundTraffic(
-            sim,
-            service,
-            scenario.site,
-            bg_nodes,
-            rate_rps=scenario.background_rps,
-            rng=rngs.stream("background"),
-        )
-
-        profile = profile_site(scenario.site)
-        stages = standard_stages(profile)
-        if stage_kinds is not None:
-            wanted = set(stage_kinds)
-            stages = [s for s in stages if s.kind in wanted]
-
-        monitor = (
-            ResourceMonitor(sim, servers[0], interval_s=monitor_interval_s)
-            if monitor_interval_s is not None
-            else None
-        )
-        return cls(
-            sim=sim,
-            topology=topology,
-            service=service,
-            servers=servers,
-            clients=clients,
-            coordinator=coordinator,
-            background=background,
-            stages=stages,
-            profile=profile,
-            monitor=monitor,
+        return WorldSpec(
             scenario=scenario,
-        )
+            fleet=fleet_spec if fleet_spec is not None else FleetSpec(),
+            config=config if config is not None else MFCConfig(),
+            seed=seed,
+            stage_kinds=(
+                tuple(stage_kinds) if stage_kinds is not None else None
+            ),
+            monitor_interval_s=monitor_interval_s,
+            control_loss_prob=control_loss_prob,
+            use_naive_scheduling=use_naive_scheduling,
+            bottleneck_capacity_bps=bottleneck_capacity_bps,
+        ).build()
 
     # -- execution ------------------------------------------------------------
 
     def run(self, time_limit_s: float = 1e7) -> MFCResult:
         """Run the whole experiment to completion."""
-        self.background.start()
+        if self.background is not None:
+            self.background.start()
         if self.monitor is not None:
             self.monitor.start()
         proc = self.coordinator.run(self.stages)
         result = self.sim.run_until_complete(proc, limit=time_limit_s)
-        self.background.stop()
+        if self.background is not None:
+            self.background.stop()
         if self.monitor is not None:
             self.monitor.stop()
         return result
 
     @property
-    def server(self) -> SimWebServer:
-        """The (first) backend box — handy for log/monitor access."""
-        return self.servers[0]
+    def server(self):
+        """The (first) backend box — handy for log/monitor access.
+
+        Synthetic worlds have no ``SimWebServer`` boxes; the synthetic
+        service itself is returned (it carries the same access log).
+        """
+        return self.servers[0] if self.servers else self.service
 
     def combined_access_log(self):
         """Access log across all backends (cluster-aware)."""

@@ -29,11 +29,11 @@ import time
 from typing import Dict, List, Optional
 
 from repro.core.config import MFCConfig
-from repro.core.runner import MFCRunner
 from repro.core.stages import StageKind
 from repro.server import presets
 from repro.sim.kernel import Simulator
 from repro.workload.fleet import FleetSpec
+from repro.worlds.spec import WorldSpec
 
 
 def _best_of(repeats: int, fn) -> float:
@@ -179,26 +179,28 @@ def bench_world(
 
     Builds a ``qtnp``-grade world with *n_clients* fleet clients, runs
     the Large Object stage to its crowd cap and reports wall seconds,
-    simulated request count and the result fingerprint.
+    simulated request count, the result fingerprint and the world's
+    spec hash (so a bench record names the exact declarative world it
+    measured; ``spec_hash`` sits outside ``params`` to keep records
+    comparable across assembly-layer refactors that preserve results).
     """
-    config = MFCConfig(
-        threshold_s=0.100,
-        max_crowd=max_crowd,
-        crowd_step=crowd_step,
-        initial_crowd=crowd_step,
-        min_clients=min(50, max(1, int(n_clients * 0.75))),
+    spec = WorldSpec(
+        scenario=presets.qtnp_server(),
+        fleet=FleetSpec(n_clients=n_clients),
+        config=MFCConfig(
+            threshold_s=0.100,
+            max_crowd=max_crowd,
+            crowd_step=crowd_step,
+            initial_crowd=crowd_step,
+            min_clients=min(50, max(1, int(n_clients * 0.75))),
+        ),
+        seed=seed,
+        stage_kinds=(StageKind.LARGE_OBJECT,),
     )
     state: Dict = {}
 
     def run() -> None:
-        runner = MFCRunner.build(
-            presets.qtnp_server(),
-            fleet_spec=FleetSpec(n_clients=n_clients),
-            config=config,
-            stage_kinds=[StageKind.LARGE_OBJECT],
-            seed=seed,
-        )
-        state["result"] = runner.run()
+        state["result"] = spec.build().run()
 
     seconds = _best_of(repeats, run)
     result = state["result"]
@@ -207,6 +209,7 @@ def bench_world(
         "requests": result.total_requests,
         "requests_per_s": result.total_requests / seconds if seconds > 0 else 0.0,
         "fingerprint": _result_fingerprint(result),
+        "spec_hash": "sha256:" + spec.spec_hash,
         "params": {
             "n_clients": n_clients,
             "max_crowd": max_crowd,

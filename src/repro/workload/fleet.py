@@ -52,6 +52,23 @@ class FleetSpec:
             raise ValueError("bottleneck_fraction needs a bottleneck_group")
 
 
+def lan_fleet(n_clients: int = 65, rtt: float = 0.002) -> FleetSpec:
+    """The §3 lab setting: clients on the same LAN as the target.
+
+    GigE access, millisecond RTTs, no flaky or spiky nodes — the fleet
+    the validation experiments and synthetic-server worlds use.
+    """
+    return FleetSpec(
+        n_clients=n_clients,
+        rtt_range=(rtt, rtt * 1.5),
+        coord_rtt_range=(0.001, 0.002),
+        access_bps_choices=(125e6,),  # GigE LAN
+        jitter_range=(0.01, 0.03),
+        spike_node_fraction=0.0,
+        unresponsive_fraction=0.0,
+    )
+
+
 def _log_uniform(rng: random.Random, lo: float, hi: float) -> float:
     import math
 

@@ -1,0 +1,48 @@
+"""Declarative world specifications.
+
+One serializable description for every experiment world:
+
+- :mod:`repro.worlds.spec` — :class:`WorldSpec` (scenario or synthetic
+  server side, fleet, topology overrides, MFC config, stage selection,
+  monitor, background traffic) with ``build()`` as the single world
+  assembly path;
+- :mod:`repro.worlds.codec` — canonical JSON encode/decode and the
+  stable SHA-256 :func:`stable_key` the campaign layer hashes jobs
+  with;
+- :mod:`repro.worlds.registry` — named components a JSON spec may
+  reference: scenario presets, fleet presets, synthetic-server models.
+"""
+
+from repro.worlds.codec import (
+    canonical,
+    decode,
+    dumps,
+    encode,
+    loads,
+    register_spec_type,
+    stable_key,
+)
+from repro.worlds.registry import (
+    FLEET_PRESETS,
+    SCENARIO_PRESETS,
+    SYNTHETIC_MODELS,
+    register_synthetic_model,
+)
+from repro.worlds.spec import N_BACKGROUND_CLIENTS, SyntheticSpec, WorldSpec
+
+__all__ = [
+    "FLEET_PRESETS",
+    "N_BACKGROUND_CLIENTS",
+    "SCENARIO_PRESETS",
+    "SYNTHETIC_MODELS",
+    "SyntheticSpec",
+    "WorldSpec",
+    "canonical",
+    "decode",
+    "dumps",
+    "encode",
+    "loads",
+    "register_spec_type",
+    "register_synthetic_model",
+    "stable_key",
+]

@@ -1,0 +1,95 @@
+"""Registries of named world components.
+
+A :class:`~repro.worlds.spec.WorldSpec` must be expressible as plain
+JSON, so every component a spec can ask for by *name* lives in one of
+the registries below:
+
+- :data:`SCENARIO_PRESETS` — the shipped server-side scenarios
+  (``repro list``); factories so each lookup returns a fresh object.
+- :data:`FLEET_PRESETS` — named client-fleet shapes (the PlanetLab-like
+  default and the §3 LAN lab fleet).
+- :data:`SYNTHETIC_MODELS` — the §3.1 synthetic response-time models,
+  by name.  Each entry is a factory ``(sim, **params) -> model`` so
+  models that need simulated time (the transient-busy ablation model)
+  can close over the kernel; pure models ignore it.
+
+The registries are extensible at runtime (:func:`register_synthetic_model`)
+— an external experiment can name its own server model and still drive
+it from a JSON world file.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.server import presets
+from repro.server.synthetic import (
+    ResponseTimeModel,
+    exponential_model,
+    linear_model,
+    step_model,
+)
+from repro.workload.fleet import FleetSpec, lan_fleet
+
+#: name → zero-arg factory of a shipped server-side scenario
+SCENARIO_PRESETS: Dict[str, Callable[[], presets.Scenario]] = {
+    "lab": presets.lab_validation_server,
+    "lab-fastcgi": lambda: presets.lab_validation_server("fastcgi"),
+    "qtnp": presets.qtnp_server,
+    "qtp": presets.qtp_cluster,
+    "univ1": presets.univ1_server,
+    "univ2": presets.univ2_server,
+    "univ3": presets.univ3_server,
+    "flash-sale": presets.cdn_flash_sale,
+    "api-micro": presets.api_microservice,
+    "budget-vps": presets.budget_vps,
+}
+
+#: name → zero-arg factory of a named client-fleet shape
+FLEET_PRESETS: Dict[str, Callable[[], FleetSpec]] = {
+    "planetlab": FleetSpec,
+    "lan": lan_fleet,
+}
+
+#: name → ``(sim, **params) -> ResponseTimeModel`` factory
+SYNTHETIC_MODELS: Dict[str, Callable] = {}
+
+
+def register_synthetic_model(name: str):
+    """Decorator: register a synthetic-server model factory under *name*."""
+
+    def _register(factory: Callable) -> Callable:
+        if name in SYNTHETIC_MODELS:
+            raise ValueError(f"synthetic model {name!r} already registered")
+        SYNTHETIC_MODELS[name] = factory
+        return factory
+
+    return _register
+
+
+@register_synthetic_model("linear")
+def _linear(sim, seconds_per_request: float) -> ResponseTimeModel:
+    """Figure 4(a): added delay grows linearly with crowd size."""
+    return linear_model(seconds_per_request)
+
+
+@register_synthetic_model("exponential")
+def _exponential(sim, scale_s: float, rate: float) -> ResponseTimeModel:
+    """Figure 4(b): added delay grows exponentially with crowd size."""
+    return exponential_model(scale_s, rate)
+
+
+@register_synthetic_model("step")
+def _step(sim, threshold: int, low_s: float, high_s: float) -> ResponseTimeModel:
+    """§3.3 buffer-exhaustion cliff: low below *threshold*, high at it."""
+    return step_model(int(threshold), low_s, high_s)
+
+
+@register_synthetic_model("transient-busy")
+def _transient_busy(
+    sim, period_s: float, busy_s: float = 0.300, window_s: float = 2.5
+) -> ResponseTimeModel:
+    """Periodic busy windows (a cron job, a log rotation): for
+    *window_s* out of every *period_s* seconds every request pays an
+    extra *busy_s* — the check-phase ablation's false-alarm source."""
+    return lambda pending: busy_s if (sim.now % period_s) < window_s else 0.0

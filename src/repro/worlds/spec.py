@@ -1,0 +1,362 @@
+"""The declarative world layer: one serializable description per world.
+
+Every experiment in this repository is "assemble a world, run stages,
+record outcomes".  :class:`WorldSpec` is the single declarative
+description of such a world — server side (a
+:class:`~repro.server.presets.Scenario` *or* a named synthetic-server
+model), client fleet, topology overrides (shared mid-path bottleneck
+capacity, control-channel loss), MFC configuration, stage selection,
+resource monitor and background traffic — with canonical JSON
+encode/decode (:mod:`repro.worlds.codec`) and a stable SHA-256
+identity (:attr:`WorldSpec.spec_hash`).
+
+``WorldSpec.build()`` is the one assembly path: ``MFCRunner.build``
+delegates here, campaign world-jobs carry a spec verbatim, the
+benchmark harnesses assemble through it, and ``repro run --spec
+world.json`` turns any JSON document into a runnable world.  A world
+is a pure function of its spec: equal hashes mean byte-identical
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import MFCConfig
+from repro.core.stages import StageKind
+from repro.server.http import HEADER_BYTES
+from repro.server.presets import Scenario
+from repro.workload.fleet import FleetSpec
+from repro.worlds import codec
+from repro.worlds.registry import SYNTHETIC_MODELS
+
+#: nodes used by background traffic (never part of the MFC crowd)
+N_BACKGROUND_CLIENTS = 8
+
+
+@codec.register_spec_type
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Server side of a §3.1 validation world: a content-free
+    :class:`~repro.server.synthetic.SyntheticServer` applying a named
+    response-time model from the
+    :data:`~repro.worlds.registry.SYNTHETIC_MODELS` registry."""
+
+    #: registry name: ``linear`` / ``exponential`` / ``step`` / ...
+    model: str
+    #: keyword parameters of the model factory
+    params: Dict[str, float] = field(default_factory=dict)
+    #: fixed service time below the model's added delay
+    base_service_s: float = 0.002
+    response_bytes: float = HEADER_BYTES
+    server_access_bps: float = 1e9
+    #: the one probe object the MFC requests
+    probe_path: str = "/probe"
+
+    def validate(self) -> None:
+        """Check the model name against the registry."""
+        if self.model not in SYNTHETIC_MODELS:
+            raise ValueError(
+                f"unknown synthetic model {self.model!r}; registered: "
+                f"{sorted(SYNTHETIC_MODELS)}"
+            )
+        if self.server_access_bps <= 0:
+            raise ValueError("server access bandwidth must be positive")
+
+
+@codec.register_spec_type
+@dataclass
+class WorldSpec:
+    """Declarative description of one experiment world."""
+
+    #: server side — exactly one of *scenario* / *synthetic*
+    scenario: Optional[Scenario] = None
+    synthetic: Optional[SyntheticSpec] = None
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    config: MFCConfig = field(default_factory=MFCConfig)
+    seed: int = 0
+    #: restrict which stages run (None: all the profile supports)
+    stage_kinds: Optional[Tuple[StageKind, ...]] = None
+    #: attach an ``atop``-style monitor to the (first) server
+    monitor_interval_s: Optional[float] = None
+    #: loss probability on the coordinator↔client control channel
+    control_loss_prob: float = 0.0
+    #: ablation knob: dispatch epoch commands without lead-time spreading
+    use_naive_scheduling: bool = False
+    #: capacity of the fleet's shared mid-path bottleneck (requires
+    #: ``fleet.bottleneck_group``; None: half the server access link)
+    bottleneck_capacity_bps: Optional[float] = None
+    #: override the scenario's background request rate (requests/second)
+    background_rps: Optional[float] = None
+    #: free-form annotation — cosmetic, never hashed
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.stage_kinds is not None:
+            self.stage_kinds = tuple(self.stage_kinds)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable SHA-256 identity of everything that changes execution."""
+        return codec.stable_key(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Human-editable JSON document of this spec."""
+        return codec.dumps(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorldSpec":
+        """Inverse of :meth:`to_json` (hash-preserving)."""
+        spec = codec.loads(text)
+        if not isinstance(spec, cls):
+            raise ValueError(
+                f"document does not describe a WorldSpec "
+                f"(got {type(spec).__name__})"
+            )
+        return spec
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise on contradictory or incomplete descriptions."""
+        if (self.scenario is None) == (self.synthetic is None):
+            raise ValueError(
+                "world needs exactly one of scenario= or synthetic="
+            )
+        self.config.validate()
+        self.fleet.validate()
+        if self.synthetic is not None:
+            self.synthetic.validate()
+            unsupported = {
+                "monitor_interval_s": self.monitor_interval_s,
+                "bottleneck_capacity_bps": self.bottleneck_capacity_bps,
+                "background_rps": self.background_rps,
+                "stage_kinds": self.stage_kinds,
+                "fleet.bottleneck_group": self.fleet.bottleneck_group,
+            }
+            extras = sorted(k for k, v in unsupported.items() if v is not None)
+            if extras:
+                raise ValueError(
+                    "synthetic worlds have one fixed probe stage, no site "
+                    f"content and no background pool; unsupported: {extras}"
+                )
+
+    # -- assembly -------------------------------------------------------------
+
+    def build(self):
+        """Assemble the world; returns a ready-to-run ``MFCRunner``."""
+        self.validate()
+        if self.synthetic is not None:
+            return self._build_synthetic()
+        return self._build_scenario()
+
+    def _build_scenario(self):
+        from repro.core.client import MFCClient
+        from repro.core.coordinator import Coordinator
+        from repro.core.profiler import profile_site
+        from repro.core.runner import MFCRunner
+        from repro.core.stages import standard_stages
+        from repro.net.topology import ClientSpec, Topology, TopologySpec
+        from repro.server.cluster import LoadBalancedCluster
+        from repro.server.monitor import ResourceMonitor
+        from repro.server.webserver import SimWebServer
+        from repro.sim.kernel import Simulator
+        from repro.sim.rng import RNGRegistry
+        from repro.workload.background import BackgroundTraffic
+        from repro.workload.fleet import build_fleet
+
+        scenario = self.scenario
+        if self.background_rps is not None:
+            scenario = scenario.with_background(self.background_rps)
+        rngs = RNGRegistry(self.seed)
+        sim = Simulator()
+
+        fleet = build_fleet(self.fleet, rng=rngs.stream("fleet"))
+        bg_specs = [
+            ClientSpec(
+                client_id=f"bg{i:02d}",
+                rtt_to_target=0.030 + 0.01 * i,
+                rtt_to_coord=0.020,
+                access_bps=12.5e6,
+                jitter=0.05,
+            )
+            for i in range(N_BACKGROUND_CLIENTS)
+        ]
+        topo_spec = TopologySpec(
+            server_access_bps=scenario.server_access_bps,
+            clients=list(fleet) + bg_specs,
+            shared_bottlenecks=(
+                {
+                    self.fleet.bottleneck_group: (
+                        self.bottleneck_capacity_bps
+                        if self.bottleneck_capacity_bps is not None
+                        else scenario.server_access_bps / 2
+                    )
+                }
+                if self.fleet.bottleneck_group is not None
+                else {}
+            ),
+            control_loss_prob=self.control_loss_prob,
+        )
+        topology = Topology(sim, topo_spec, rngs=rngs.fork("topology"))
+
+        servers = [
+            SimWebServer(
+                sim,
+                (
+                    scenario.server_spec
+                    if scenario.n_servers == 1
+                    else type(scenario.server_spec)(
+                        **{
+                            **scenario.server_spec.__dict__,
+                            "name": f"{scenario.server_spec.name}-{i}",
+                        }
+                    )
+                ),
+                scenario.site,
+                topology.network,
+                topology.server_access,
+            )
+            for i in range(scenario.n_servers)
+        ]
+        service = (
+            servers[0]
+            if scenario.n_servers == 1
+            else LoadBalancedCluster(sim, servers)
+        )
+
+        fleet_nodes = [topology.client(spec.client_id) for spec in fleet]
+        bg_nodes = [topology.client(spec.client_id) for spec in bg_specs]
+
+        clients = [
+            MFCClient(
+                sim,
+                node,
+                service,
+                topology.control,
+                self.config,
+                rng=rngs.stream(f"client.{node.client_id}"),
+            )
+            for node in fleet_nodes
+        ]
+        coordinator = Coordinator(
+            sim,
+            clients,
+            topology.control,
+            self.config,
+            target_name=scenario.name,
+            rng=rngs.stream("coordinator"),
+            use_naive_scheduling=self.use_naive_scheduling,
+        )
+        background = BackgroundTraffic(
+            sim,
+            service,
+            scenario.site,
+            bg_nodes,
+            rate_rps=scenario.background_rps,
+            rng=rngs.stream("background"),
+        )
+
+        profile = profile_site(scenario.site)
+        stages = standard_stages(profile)
+        if self.stage_kinds is not None:
+            wanted = set(self.stage_kinds)
+            stages = [s for s in stages if s.kind in wanted]
+
+        monitor = (
+            ResourceMonitor(sim, servers[0], interval_s=self.monitor_interval_s)
+            if self.monitor_interval_s is not None
+            else None
+        )
+        return MFCRunner(
+            sim=sim,
+            topology=topology,
+            service=service,
+            servers=servers,
+            clients=clients,
+            coordinator=coordinator,
+            background=background,
+            stages=stages,
+            profile=profile,
+            monitor=monitor,
+            scenario=scenario,
+            world_spec=self,
+        )
+
+    def _build_synthetic(self):
+        from repro.core.client import MFCClient
+        from repro.core.coordinator import Coordinator
+        from repro.core.runner import MFCRunner
+        from repro.core.stages import StagePlan
+        from repro.net.topology import Topology, TopologySpec
+        from repro.server.http import Method
+        from repro.server.synthetic import SyntheticServer
+        from repro.sim.kernel import Simulator
+        from repro.sim.rng import RNGRegistry
+        from repro.workload.fleet import build_fleet
+
+        synth = self.synthetic
+        rngs = RNGRegistry(self.seed)
+        sim = Simulator()
+        fleet = build_fleet(self.fleet, rng=rngs.stream("fleet"))
+        topology = Topology(
+            sim,
+            TopologySpec(
+                server_access_bps=synth.server_access_bps,
+                clients=fleet,
+                control_loss_prob=self.control_loss_prob,
+            ),
+            rngs=rngs.fork("topology"),
+        )
+        model = SYNTHETIC_MODELS[synth.model](sim, **synth.params)
+        server = SyntheticServer(
+            sim,
+            model,
+            topology.network,
+            topology.server_access,
+            base_service_s=synth.base_service_s,
+            response_bytes=synth.response_bytes,
+        )
+        clients = [
+            MFCClient(
+                sim,
+                node,
+                server,
+                topology.control,
+                self.config,
+                rng=rngs.stream(f"client.{node.client_id}"),
+            )
+            for node in topology.clients
+        ]
+        coordinator = Coordinator(
+            sim,
+            clients,
+            topology.control,
+            self.config,
+            target_name="synthetic",
+            rng=rngs.stream("coordinator"),
+            use_naive_scheduling=self.use_naive_scheduling,
+        )
+        stage = StagePlan(
+            kind=StageKind.BASE,
+            method=Method.GET,
+            degradation_quantile=0.5,
+            object_paths=(synth.probe_path,),
+        )
+        return MFCRunner(
+            sim=sim,
+            topology=topology,
+            service=server,
+            servers=[],
+            clients=clients,
+            coordinator=coordinator,
+            background=None,
+            stages=[stage],
+            profile=None,
+            monitor=None,
+            scenario=None,
+            world_spec=self,
+        )

@@ -137,7 +137,57 @@ def test_bucket_label(size, expected):
 
 
 def test_bucket_labels_order():
-    assert bucket_labels() == ["0-20", "20-30", "30-40", "40-50", "No-Stop"]
+    assert bucket_labels() == [
+        "0-20", "20-30", "30-40", "40-50", ">50", "No-Stop",
+    ]
+    assert bucket_labels(include_skipped=True)[-1] == "Skipped"
+
+
+def test_bucket_labels_cover_every_measurement_bucket():
+    """Regression: every bucket a measurement can land in must appear
+    in the stacking order — ``>50`` stops (cooperating-site crowds) and
+    ``Skipped`` sites used to be dropped from stacked tables/figures."""
+    measurements = [
+        make_measurement("a", "s", StageOutcome.STOPPED, 55),   # ">50"
+        make_measurement("b", "s", StageOutcome.SKIPPED),       # "Skipped"
+        make_measurement("c", "s", StageOutcome.NO_STOP),
+        make_measurement("d", "s", StageOutcome.STOPPED, 10),
+    ]
+    labels = bucket_labels(include_skipped=True)
+    assert {m.bucket for m in measurements} <= set(labels)
+
+
+def test_breakdown_keeps_overflow_stops():
+    """Regression: a stop past the last bucket must contribute its
+    fraction to the stacked breakdown instead of vanishing."""
+    result = StudyResult(stage=StageKind.BASE)
+    result.measurements = [
+        make_measurement("a", "s1", StageOutcome.STOPPED, 55),
+        make_measurement("b", "s1", StageOutcome.NO_STOP),
+    ]
+    fractions = result.breakdown("s1")
+    assert fractions[">50"] == pytest.approx(0.5)
+    # the stacked fractions over the full label set account for every
+    # measured site (they used to sum to 0.5 here)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_breakdown_can_account_for_skipped_sites():
+    """With ``include_skipped`` the denominator covers every site and
+    the ``Skipped`` bucket carries its fraction (no dead zero series:
+    the label only appears when the fractions include it)."""
+    result = StudyResult(stage=StageKind.BASE)
+    result.measurements = [
+        make_measurement("a", "s1", StageOutcome.STOPPED, 10),
+        make_measurement("b", "s1", StageOutcome.SKIPPED),
+    ]
+    measured_only = result.breakdown("s1")
+    assert "Skipped" not in measured_only
+    assert measured_only["0-20"] == pytest.approx(1.0)
+    full = result.breakdown("s1", include_skipped=True)
+    assert full["Skipped"] == pytest.approx(0.5)
+    assert full["0-20"] == pytest.approx(0.5)
+    assert sum(full.values()) == pytest.approx(1.0)
 
 
 def make_measurement(site, stratum, outcome, size=None):

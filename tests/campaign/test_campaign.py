@@ -30,8 +30,9 @@ from repro.core.stages import StageKind
 from repro.server.http import Status
 from repro.server.presets import qtnp_server, univ1_server
 from repro.workload import generate_population
-from repro.workload.fleet import FleetSpec
+from repro.workload.fleet import FleetSpec, lan_fleet
 from repro.workload.populations import RankStratumSpec
+from repro.worlds import SyntheticSpec, WorldSpec
 
 
 def tiny_population(n_per_stratum=2, seed=1):
@@ -119,6 +120,79 @@ def test_jobspec_payload_validation():
         JobSpec(job_id="both", scenario=qtnp_server(), func="m:f")
     with pytest.raises(ValueError):
         JobSpec(job_id="colonless", func="no_colon")
+    with pytest.raises(ValueError):
+        JobSpec(
+            job_id="world+func",
+            world=WorldSpec(scenario=qtnp_server()),
+            func="m:f",
+        )
+
+
+def small_world(seed=1, max_crowd=15):
+    return WorldSpec(
+        scenario=qtnp_server(),
+        fleet=FleetSpec(n_clients=20, unresponsive_fraction=0.0),
+        config=MFCConfig(max_crowd=max_crowd, min_clients=10),
+        stage_kinds=(StageKind.BASE,),
+        seed=seed,
+    )
+
+
+def test_world_job_keys_track_the_spec():
+    job = JobSpec.from_world("w", small_world(seed=1))
+    same = JobSpec.from_world("relabeled", small_world(seed=1), meta={"x": 1})
+    assert job.key == same.key  # ids and meta are not execution parameters
+    assert job.key != JobSpec.from_world("w2", small_world(seed=2)).key
+    # a world job never collides with the equivalent scenario job
+    scenario_job = JobSpec(
+        job_id="s",
+        scenario=qtnp_server(),
+        fleet_spec=FleetSpec(n_clients=20, unresponsive_fraction=0.0),
+        config=MFCConfig(max_crowd=15, min_clients=10),
+        stage_kinds=(StageKind.BASE,),
+        seed=1,
+    )
+    assert job.key != scenario_job.key
+
+
+def test_world_jobs_run_and_cache(tmp_path):
+    spec = CampaignSpec(
+        name="worlds",
+        jobs=[
+            JobSpec.from_world(f"w{seed}", small_world(seed=seed))
+            for seed in (1, 2)
+        ],
+    )
+    outcomes = run_campaign(spec, jobs=2, store=tmp_path / "worlds.jsonl")
+    direct = [small_world(seed=seed).build().run() for seed in (1, 2)]
+    assert [o.result.stage("Base").describe() for o in outcomes] == [
+        r.stage("Base").describe() for r in direct
+    ]
+    repeat = run_campaign(spec, store=tmp_path / "worlds.jsonl")
+    assert all(o.cached for o in repeat)
+
+
+def test_synthetic_world_jobs_run():
+    spec = CampaignSpec(
+        name="synthetic",
+        jobs=[
+            JobSpec.from_world(
+                "linear",
+                WorldSpec(
+                    synthetic=SyntheticSpec(
+                        model="linear", params={"seconds_per_request": 0.02}
+                    ),
+                    fleet=lan_fleet(15),
+                    config=MFCConfig(min_clients=1, max_crowd=15, threshold_s=0.1),
+                    seed=4,
+                ),
+            )
+        ],
+    )
+    [outcome] = run_campaign(spec)
+    stage = outcome.result.stage(StageKind.BASE.value)
+    # 20 ms per simultaneous request crosses θ=100 ms inside the sweep
+    assert stage.stopping_crowd_size is not None
 
 
 def test_stable_key_rejects_exotic_values():

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import SCENARIOS, build_parser, main
@@ -111,6 +113,97 @@ def test_campaign_runs_and_resumes(capsys, tmp_path):
     # every job is now cached: the repeat run reports identically
     assert main(args) == 0
     assert capsys.readouterr().out == out
+
+
+def test_list_json_is_machine_readable(capsys):
+    assert main(["list", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc["scenarios"]) == set(SCENARIOS)
+    assert doc["stage_kinds"] == ["Base", "SmallQuery", "LargeObject"]
+    assert doc["scenarios"]["qtp"]["n_servers"] == 16
+    # api-micro's biggest file is below the Large Object bound
+    assert doc["scenarios"]["api-micro"]["stages"] == ["Base", "SmallQuery"]
+    assert doc["fleet_presets"]["lan"]["unresponsive_fraction"] == 0.0
+    assert "linear" in doc["synthetic_models"]
+
+
+# -- repro spec dump / run --spec ----------------------------------------------
+
+
+SPEC_FLAGS = ["--max-crowd", "15", "--clients", "55", "--stage", "base",
+              "--seed", "1"]
+
+
+def test_spec_dump_roundtrips_through_run(capsys, tmp_path):
+    """Acceptance: a preset exported via `spec dump` then run via
+    `run --spec` reproduces the preset run exactly."""
+    assert main(["run", "qtnp", "--quiet"] + SPEC_FLAGS) == 0
+    direct = capsys.readouterr().out
+    assert main(["spec", "dump", "qtnp"] + SPEC_FLAGS) == 0
+    document = capsys.readouterr().out
+    path = tmp_path / "world.json"
+    path.write_text(document)
+    assert main(["run", "--spec", str(path), "--quiet"]) == 0
+    assert capsys.readouterr().out == direct
+
+
+def test_spec_dump_to_file_and_hash_stability(capsys, tmp_path):
+    out = tmp_path / "world.json"
+    assert main(["spec", "dump", "univ1", "--out", str(out)] + SPEC_FLAGS) == 0
+    first = out.read_text()
+    assert main(["spec", "dump", "univ1", "--out", str(out)] + SPEC_FLAGS) == 0
+    assert out.read_text() == first  # dump is deterministic
+    assert "spec hash" in capsys.readouterr().err
+    from repro.worlds import WorldSpec
+
+    spec = WorldSpec.from_json(first)
+    assert spec.scenario.name == "univ1"
+
+
+def test_run_spec_rejects_bad_combinations(capsys, tmp_path):
+    # neither scenario nor --spec
+    assert main(["run"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+    # both
+    path = tmp_path / "w.json"
+    path.write_text("{}")
+    assert main(["run", "qtnp", "--spec", str(path)]) == 2
+    capsys.readouterr()
+    # --spec with --jobs
+    assert main(["run", "--spec", str(path), "--jobs", "2"]) == 2
+    assert "single world" in capsys.readouterr().err
+    # world-shaping flags are rejected, not silently ignored: the
+    # document is the world
+    assert main(["run", "--spec", str(path), "--seed", "7",
+                 "--max-crowd", "30"]) == 2
+    err = capsys.readouterr().err
+    assert "--seed" in err and "--max-crowd" in err
+    assert "edit the document" in err
+    # unreadable / non-world documents
+    assert main(["run", "--spec", str(tmp_path / "missing.json")]) == 2
+    assert "cannot load spec" in capsys.readouterr().err
+    assert main(["run", "--spec", str(path)]) == 2
+    assert "cannot load spec" in capsys.readouterr().err
+    # decodes fine but fails world validation at build time
+    from repro.worlds import SyntheticSpec, WorldSpec
+
+    bad_world = tmp_path / "bad_world.json"
+    bad_world.write_text(
+        WorldSpec(synthetic=SyntheticSpec(model="quadratic")).to_json()
+    )
+    assert main(["run", "--spec", str(bad_world)]) == 2
+    assert "invalid world spec" in capsys.readouterr().err
+
+
+def test_campaign_dry_run_reports_stable_expansion(capsys):
+    args = ["campaign", "phishing", "--scale", "0.05", "--dry-run"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "4 jobs, 4 distinct keys" in first
+    assert "keys-digest: sha256:" in first
+    # expansion and keys are deterministic run-to-run
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
 
 
 def test_parser_rejects_unknown_population():

@@ -45,7 +45,15 @@ def test_hosting_comparison_runs():
     assert "4-box-cluster" in proc.stdout
 
 
+def test_custom_world_runs():
+    proc = run_example("custom_world.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "hash unchanged" in proc.stdout
+    assert "duo-cluster" in proc.stdout
+
+
 def test_examples_directory_complete():
     names = {p.name for p in EXAMPLES.glob("*.py")}
     assert {"quickstart.py", "cooperating_site.py",
-            "ddos_vulnerability.py", "hosting_comparison.py"} <= names
+            "ddos_vulnerability.py", "hosting_comparison.py",
+            "custom_world.py"} <= names
