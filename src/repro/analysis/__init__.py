@@ -10,7 +10,14 @@ and figures lives here:
   (run one MFC stage over a site population, bucket stopping sizes).
 """
 
-from repro.analysis.stats import bootstrap_ci, mean, median, quantile, stdev
+from repro.analysis.stats import (
+    bootstrap_ci,
+    mean,
+    median,
+    quantile,
+    quantile_sorted,
+    stdev,
+)
 from repro.analysis.tables import TextTable
 from repro.analysis.figures import ascii_series, bar_chart, stacked_breakdown
 from repro.analysis.study import (
@@ -33,6 +40,7 @@ __all__ = [
     "mean",
     "median",
     "quantile",
+    "quantile_sorted",
     "run_stage_study",
     "stacked_breakdown",
     "stdev",

@@ -11,7 +11,11 @@ import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.epochs import median, quantile  # noqa: F401  (re-export)
+from repro.core.epochs import (  # noqa: F401  (re-exports)
+    median,
+    quantile,
+    quantile_sorted,
+)
 
 
 def mean(values: Sequence[float]) -> float:
@@ -48,4 +52,6 @@ def bootstrap_ci(
         resample = [rng.choice(values) for _ in values]
         stats.append(statistic(resample))
     alpha = (1.0 - confidence) / 2.0
-    return (quantile(stats, alpha), quantile(stats, 1.0 - alpha))
+    # one sort feeds both interval endpoints
+    stats.sort()
+    return (quantile_sorted(stats, alpha), quantile_sorted(stats, 1.0 - alpha))

@@ -9,6 +9,7 @@
     python -m repro spec dump qtnp --max-crowd 55 --seed 1 > world.json
     python -m repro run --spec world.json
     python -m repro campaign quantcast --scale 0.1 --jobs 8 --cache /tmp/qc.jsonl
+    python -m repro perf --quick --check --max-regression 0.25
 
 ``run`` prints the experiment summary and the inferred constraint
 report, and exits non-zero if the experiment aborted (e.g. too few
@@ -131,6 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default <out>/BENCH_baseline.json)")
     perf.add_argument("--update-baseline", action="store_true",
                       help="record this run as the new baseline")
+    perf.add_argument("--check", action="store_true",
+                      help="perf gate: exit nonzero when any bench "
+                           "regresses more than --max-regression vs "
+                           "the baseline (or the baseline is missing)")
+    perf.add_argument("--max-regression", type=float, default=0.25,
+                      metavar="FRAC",
+                      help="allowed fractional slowdown per bench for "
+                           "--check (default 0.25 = 25%%)")
+    perf.add_argument("--check-keys", action="append", default=None,
+                      metavar="PREFIX",
+                      help="restrict the --check timing gate to benches "
+                           "whose key starts with PREFIX (repeatable; "
+                           "default: every comparable bench). "
+                           "Determinism fingerprints are always checked.")
+    perf.add_argument("--no-root-mirror", action="store_true",
+                      help="skip mirroring BENCH_kernel.json / "
+                           "BENCH_world.json to the repository root "
+                           "(the cross-PR perf trajectory record)")
     return parser
 
 
@@ -474,6 +493,24 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _project_root_for(path: str) -> Optional[str]:
+    """Nearest ancestor of *path* (inclusive) that looks like a
+    project root (has ``.git`` or ``pyproject.toml``); None if the
+    walk reaches the filesystem root without finding one."""
+    import os
+
+    current = path
+    while True:
+        if os.path.exists(os.path.join(current, ".git")) or os.path.exists(
+            os.path.join(current, "pyproject.toml")
+        ):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
 def cmd_perf(args) -> int:
     # imported here so `repro list`/`run` stay import-light
     import os
@@ -481,6 +518,7 @@ def cmd_perf(args) -> int:
     from repro.perf import (
         BASELINE_FILENAME,
         compare_to_baseline,
+        find_regressions,
         load_bench_file,
         run_kernel_suite,
         run_world_suite,
@@ -496,6 +534,16 @@ def cmd_perf(args) -> int:
 
     write_bench_file(os.path.join(args.out, "BENCH_kernel.json"), kernel)
     write_bench_file(os.path.join(args.out, "BENCH_world.json"), world)
+    if not args.no_root_mirror and not args.quick:
+        # root-level copies record the cross-PR perf trajectory next to
+        # README/ROADMAP, where successive PRs are expected to commit
+        # them; the root is resolved from the --out path (not the cwd).
+        # Quick smoke runs never mirror — they must not replace the
+        # committed full-suite trajectory with .quick payloads.
+        root = _project_root_for(os.path.abspath(args.out))
+        if root is not None and root != os.path.abspath(args.out):
+            write_bench_file(os.path.join(root, "BENCH_kernel.json"), kernel)
+            write_bench_file(os.path.join(root, "BENCH_world.json"), world)
     baseline_path = (
         args.baseline
         if args.baseline is not None
@@ -529,6 +577,45 @@ def cmd_perf(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.check:
+        if baseline is None:
+            # a gate with nothing to gate against must fail loudly
+            print(
+                f"perf --check: no baseline at {baseline_path}; "
+                "record one with --update-baseline",
+                file=sys.stderr,
+            )
+            return 1
+        gated_rows = rows
+        if args.check_keys:
+            prefixes = tuple(args.check_keys)
+            gated_rows = [r for r in rows if r["key"].startswith(prefixes)]
+        regressions = find_regressions(gated_rows, args.max_regression)
+        if regressions:
+            for reg in regressions:
+                print(
+                    f"perf regression: {reg['key']} {reg['slowdown']:.2f}x "
+                    f"baseline ({reg['seconds']:.4f}s vs "
+                    f"{reg['baseline_seconds']:.4f}s, allowed "
+                    f"{1.0 + args.max_regression:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        compared = sum(1 for r in gated_rows if r["baseline_seconds"] is not None)
+        if compared == 0:
+            # fail closed: a gate that compared nothing gates nothing
+            # (typo'd --check-keys prefix, renamed benches, params drift)
+            print(
+                "perf --check: no bench was comparable to a baseline "
+                "entry (check --check-keys prefixes and baseline params)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf check ok: {compared} bench(es) within "
+            f"{args.max_regression * 100:.0f}% of baseline"
+        )
+        return 0
     if baseline is None:
         print(f"no baseline at {baseline_path}; record one with --update-baseline")
     return 0

@@ -98,13 +98,29 @@ class MFCClient:
     # -- epoch execution --------------------------------------------------------
 
     def execute_command(self, command: RequestCommand) -> None:
-        """Datagram handler: fire the commanded request(s) now."""
-        for _ in range(command.n_parallel):
-            self.sim.process(self._commanded_request(command))
+        """Datagram handler: fire the commanded request(s) now.
 
-    def _commanded_request(self, command: RequestCommand) -> Generator:
+        The MFC-mr parallel connections launch as one batch at the
+        command instant: their handshake RTTs are presampled here (in
+        spawn order, so the latency stream is drawn exactly as when
+        each connection sampled lazily) and the request processes are
+        spawned back to back.  Response transfers that later share an
+        allocation instant are folded into a single rate pass by the
+        fluid network's end-of-instant transaction
+        (:meth:`repro.net.link.Network.start_transfers` is the same
+        transaction for direct batch launches).
+        """
+        spawn = self.sim.process
+        flow = self._commanded_request
+        sample_rtt = self.node.latency_to_target.sample_rtt
+        for _ in range(command.n_parallel):
+            spawn(flow(command, sample_rtt()))
+
+    def _commanded_request(
+        self, command: RequestCommand, rtt: Optional[float] = None
+    ) -> Generator:
         status, nbytes, elapsed = yield from self._issue_once(
-            command.path, command.method
+            command.path, command.method, rtt
         )
         base = self.base_times.get(command.path, 0.0)
         report = ClientReport(
@@ -123,16 +139,21 @@ class MFCClient:
 
     # -- the request primitive ------------------------------------------------------
 
-    def _issue_once(self, path: str, method: Method) -> Generator:
+    def _issue_once(
+        self, path: str, method: Method, rtt: Optional[float] = None
+    ) -> Generator:
         """Issue one HTTP request with the 10 s kill timer.
 
         Returns ``(status, numbytes, elapsed_s)``.  Elapsed time runs
         from command receipt (the paper's client starts its TCP
-        handshake immediately on command).
+        handshake immediately on command).  Commanded crowd launches
+        pass a presampled *rtt*; sequential callers (the base
+        measurements) leave it None and sample here.
         """
         issued_at = self.sim.now
         self.requests_issued += 1
-        rtt = self.node.latency_to_target.sample_rtt()
+        if rtt is None:
+            rtt = self.node.latency_to_target.sample_rtt()
         request = HTTPRequest(
             method=method, path=path, client_id=self.client_id, is_mfc=True
         )

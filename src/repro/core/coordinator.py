@@ -23,7 +23,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.client import MFCClient, RequestCommand
 from repro.core.config import MFCConfig
-from repro.core.epochs import EpochPlanner, degradation_aggregate
+from repro.core.epochs import EpochPlanner, degradation_aggregate_sorted
 from repro.core.records import (
     ClientReport,
     EpochLabel,
@@ -246,8 +246,11 @@ class Coordinator:
             missing_reports=scheduled_requests - len(reports),
         )
         if reports:
-            epoch.aggregate_normalized_s = degradation_aggregate(
-                [r.normalized_s for r in reports], stage.degradation_quantile
+            # one sort per epoch: every statistic computed over this
+            # epoch's normalized times reads the same ordered sample
+            ordered = sorted(r.normalized_s for r in reports)
+            epoch.aggregate_normalized_s = degradation_aggregate_sorted(
+                ordered, stage.degradation_quantile
             )
             epoch.degraded = epoch.aggregate_normalized_s > self.config.threshold_s
         return epoch

@@ -22,13 +22,18 @@ from repro.core.config import MFCConfig
 from repro.core.records import EpochLabel, EpochResult, StageOutcome
 
 
-def quantile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation quantile of *values* (q in [0, 1])."""
-    if not values:
+def quantile_sorted(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an *already sorted* sequence.
+
+    The sort-free core of :func:`quantile`: callers that evaluate
+    several quantiles over one sample (an epoch's report values, a
+    bootstrap distribution) sort once and thread the ordered list
+    through, instead of paying a fresh O(n log n) sort per statistic.
+    """
+    if not ordered:
         raise ValueError("quantile of empty sequence")
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must be in [0, 1], got {q}")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     position = q * (len(ordered) - 1)
@@ -40,6 +45,13 @@ def quantile(values: Sequence[float], q: float) -> float:
     interpolated = ordered[lower] * (1.0 - frac) + ordered[upper] * frac
     # clamp float rounding back inside the bracketing samples
     return min(max(interpolated, ordered[lower]), ordered[upper])
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of *values* (q in [0, 1])."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    return quantile_sorted(sorted(values), q)
 
 
 def median(values: Sequence[float]) -> float:
@@ -55,6 +67,17 @@ def degradation_aggregate(values: Sequence[float], required_fraction: float) -> 
     the median rule uses fraction 0.5, the Large Object rule 0.9.
     """
     return quantile(values, 1.0 - required_fraction)
+
+
+def degradation_aggregate_sorted(
+    ordered: Sequence[float], required_fraction: float
+) -> float:
+    """:func:`degradation_aggregate` over an already-sorted sample.
+
+    The coordinator sorts each epoch's normalized response times once
+    and feeds the ordered list to every statistic computed on them.
+    """
+    return quantile_sorted(ordered, 1.0 - required_fraction)
 
 
 class _PlannerState(enum.Enum):

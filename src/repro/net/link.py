@@ -5,19 +5,33 @@ A :class:`Transfer` moves a byte count across an ordered set of
 bottleneck, client access link).  The :class:`Network` assigns every
 active transfer its global max-min fair rate via progressive filling:
 repeatedly find the most-contended link, freeze all its unfrozen
-transfers at that link's equal share, subtract, repeat.  Rates are
-recomputed whenever a transfer starts, finishes or aborts, so each
-transfer progresses piecewise-linearly — an event-driven fluid model.
+transfers at that link's equal share, subtract, repeat.  Rates change
+whenever a transfer starts, finishes or aborts, so each transfer
+progresses piecewise-linearly — an event-driven fluid model.
 
-The allocator works on the **active-link set** only: an MFC world
-registers one access link per fleet client (hundreds), but at any
-instant only the current crowd's links carry transfers, so progressive
-filling over the active subset is O(flows · path) instead of
-O(registered links) per transfer event.  Candidate links are visited
-in registration order, which keeps every share comparison and cap
-subtraction bit-identical to a full-link scan (the frozen seed
-implementation in ``_seed_reference.py`` — the determinism-parity
-suite holds the two to byte-identical world results).
+**Allocation instants.**  Rate assignment is an *end-of-instant
+transaction*: joins, leaves and completion sweeps at one simulated
+instant only mark the network dirty, and a single flush — registered
+through :meth:`~repro.sim.kernel.Simulator.at_instant_end` — performs
+one progress advance, one progressive-filling pass and one completion
+reschedule for the whole instant.  Within an instant no simulated time
+elapses (dt = 0), so deferring the recompute to the instant boundary
+cannot change any trajectory: the determinism-parity suite holds whole
+worlds byte-identical to the frozen seed implementation in
+``_seed_reference.py``.  A synchronized N-client crowd therefore costs
+one allocator pass instead of N (``allocator.sync_crowd`` in the perf
+suite measures exactly this).  Outside :meth:`Simulator.run` there is
+no instant to wait for, so mutations flush eagerly and synchronous
+callers observe rates immediately, exactly as before.
+
+The allocator works on the **active-link set** only and selects each
+round's most-contended link from a lazy min-heap of link shares keyed
+``(share, registration index)``; entries go stale when a freeze
+touches a link's books and are re-pushed fresh (version-stamped), so a
+round costs O(path · log links) instead of a full O(links) rescan.
+Completion scheduling mirrors that shape: a lazy min-heap of absolute
+completion ETAs, invalidated by an allocation-epoch counter, feeds the
+single armed completion timer.
 
 Each link's aggregate throughput is maintained incrementally as rates
 are frozen, so :meth:`Link.current_rate` / :meth:`Link.utilization`
@@ -31,9 +45,10 @@ access link, each flow's fair share drops and response time climbs.
 from __future__ import annotations
 
 import math
-from bisect import insort
+from bisect import bisect_right, insort
+from heapq import heapify, heappop, heappush
 from operator import attrgetter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.events import Event
 from repro.sim.kernel import SimulationError, Simulator, Timer
@@ -57,8 +72,10 @@ class Link:
         "transfers",
         "bytes_delivered",
         "_agg_rate",
+        "_agg_gen",
         "_cap_left",
         "_cnt",
+        "_version",
     )
 
     def __init__(self, name: str, capacity_bps: float, index: int = 0) -> None:
@@ -67,19 +84,25 @@ class Link:
         self.name = name
         self.capacity_bps = capacity_bps
         #: registration order within the owning Network; the allocator
-        #: visits candidate links in this order
+        #: orders share-heap entries (and exact-tie wins) by this
         self.index = index
         #: active transfers crossing this link (insertion-ordered)
         self.transfers: Dict["Transfer", None] = {}
         #: cumulative bytes pushed through this link
         self.bytes_delivered = 0.0
         # aggregate of the current max-min rates, maintained by the
-        # allocator so current_rate()/utilization() are O(1)
+        # allocator so current_rate()/utilization() are O(1); _agg_gen
+        # marks which allocation pass last wrote it (set-then-add
+        # accumulation instead of a zeroing sweep per pass)
         self._agg_rate = 0.0
+        self._agg_gen = 0
         # progressive-filling books, valid only inside one allocation
-        # (slot attributes beat per-recompute dicts: no hashing)
+        # (slot attributes beat per-recompute dicts: no hashing);
+        # _version stamps share-heap entries: a freeze that touches
+        # this link's books bumps it, invalidating older entries
         self._cap_left = 0.0
         self._cnt = 0
+        self._version = 0
 
     @property
     def active_flows(self) -> int:
@@ -111,6 +134,9 @@ class Transfer:
         "started_at",
         "finished_at",
         "aborted",
+        "_frozen_gen",
+        "_eta",
+        "_eta_stamp",
     )
 
     def __init__(self, network: "Network", links: Sequence[Link], size_bytes: float) -> None:
@@ -126,6 +152,13 @@ class Transfer:
         self.started_at = network.sim.now
         self.finished_at: Optional[float] = None
         self.aborted = False
+        # allocation-epoch stamp: frozen this pass when == network gen
+        self._frozen_gen = 0
+        # ETA-heap bookkeeping: the absolute completion time of this
+        # transfer's live heap entry (None when it has none) and the
+        # stamp that entry carries; bumping the stamp invalidates it
+        self._eta: Optional[float] = None
+        self._eta_stamp = 0
 
     @property
     def active(self) -> bool:
@@ -154,9 +187,20 @@ class Network:
         #: the single armed completion timer (superseded ones are
         #: cancelled in place, not leaked)
         self._completion_timer: Optional[Timer] = None
-        #: links the last allocation assigned rates on (their
-        #: aggregates are the ones that need zeroing next time)
-        self._alloc_links: List[Link] = []
+        # end-of-instant transaction state: mutations mark the network
+        # dirty and arm one flush per simulated instant
+        self._dirty = False
+        self._flush_armed = False
+        #: allocation-epoch counter: bumped once per allocator pass;
+        #: stamps freeze marks and invalidates stale ETA entries
+        self._alloc_gen = 0
+        #: total allocator passes run (the perf suite's recompute count)
+        self.allocations = 0
+        # lazy min-heap of (eta, seq, stamp, transfer) completion
+        # candidates; seq is a global push counter so equal ETAs (a
+        # crowd of same-size flows) never compare Transfer objects
+        self._eta_heap: List[Tuple[float, int, int, Transfer]] = []
+        self._eta_seq = 0
 
     # -- links ----------------------------------------------------------------
 
@@ -184,7 +228,10 @@ class Network:
 
         Returns the :class:`Transfer`; wait on ``transfer.done`` for
         completion (it fires with the transfer as its value).  A
-        zero-byte transfer completes immediately.
+        zero-byte transfer completes immediately.  The join itself is
+        O(path): rate assignment happens once per simulated instant in
+        the end-of-instant flush (immediately when the simulator is
+        not running).
         """
         if not links:
             raise SimulationError("transfer needs at least one link")
@@ -195,14 +242,48 @@ class Network:
             transfer.finished_at = self.sim.now
             transfer.done.succeed(value=transfer)
             return transfer
-        self._advance()
-        self._active[transfer] = None
-        for link in transfer.links:
-            if not link.transfers:
-                insort(self._active_links, link, key=_link_index)
-            link.transfers[transfer] = None
-        self._recompute_and_reschedule()
+        self._join(transfer)
+        self._mark_dirty()
         return transfer
+
+    def start_transfers(
+        self, requests: Iterable[Tuple[Sequence[Link], float]]
+    ) -> List[Transfer]:
+        """Batch variant of :meth:`start_transfer` for crowd launches.
+
+        Takes ``(links, size_bytes)`` pairs and starts them as one
+        allocation transaction: all joins share a single dirty mark,
+        so a synchronized crowd costs one allocator pass no matter how
+        large it is.  Validation runs up front — an invalid entry
+        raises before any transfer is created.
+
+        This is the entry point for *direct* network users (the perf
+        suite's crowd benches, synthetic harnesses, external drivers).
+        The production request pipeline keeps per-response
+        :meth:`start_transfer` joins — launches that land on a shared
+        instant coalesce into the same single transaction via the
+        kernel's instant-end flush, with no batching at the call site.
+        """
+        pairs = [(list(links), float(size_bytes)) for links, size_bytes in requests]
+        for links, size_bytes in pairs:
+            if not links:
+                raise SimulationError("transfer needs at least one link")
+            if size_bytes < 0:
+                raise SimulationError("negative transfer size")
+        transfers: List[Transfer] = []
+        joined = False
+        for links, size_bytes in pairs:
+            transfer = Transfer(self, links, size_bytes)
+            transfers.append(transfer)
+            if size_bytes == 0:
+                transfer.finished_at = self.sim.now
+                transfer.done.succeed(value=transfer)
+                continue
+            self._join(transfer)
+            joined = True
+        if joined:
+            self._mark_dirty()
+        return transfers
 
     def abort(self, transfer: Transfer) -> None:
         """Cancel an in-flight transfer (its ``done`` event fails).
@@ -223,16 +304,57 @@ class Network:
         )
         transfer.done.fail(exc)
         transfer.done._defused = True  # abort is intentional; waiter optional
-        self._recompute_and_reschedule()
+        self._mark_dirty()
 
     # -- internals ----------------------------------------------------------------
 
+    def _join(self, transfer: Transfer) -> None:
+        self._active[transfer] = None
+        for link in transfer.links:
+            if not link.transfers:
+                insort(self._active_links, link, key=_link_index)
+            link.transfers[transfer] = None
+
     def _detach(self, transfer: Transfer) -> None:
         self._active.pop(transfer, None)
+        transfer._eta_stamp += 1  # invalidate any pending ETA entry
+        transfer._eta = None
         for link in transfer.links:
             link.transfers.pop(transfer, None)
             if not link.transfers:
+                # a drained link carries no rate; zeroing here (rather
+                # than in a per-pass sweep) keeps current_rate() exact
+                # for links the next allocation no longer visits
+                link._agg_rate = 0.0
                 self._active_links.remove(link)
+
+    def _mark_dirty(self) -> None:
+        """Queue this instant's single allocation flush.
+
+        Inside the event loop the flush rides the kernel's
+        instant-end hook; outside it (tests and benches poking the
+        network synchronously) there is no instant boundary to wait
+        for, so the flush runs immediately — preserving the historical
+        eager semantics for direct callers.
+        """
+        self._dirty = True
+        if self._flush_armed:
+            return
+        self._flush_armed = True
+        if self.sim._running:
+            self.sim.at_instant_end(self._flush)
+        else:
+            self._flush()
+
+    def _flush(self) -> None:
+        """The end-of-instant transaction: advance, allocate, rearm."""
+        self._flush_armed = False
+        if not self._dirty:
+            return
+        self._dirty = False
+        self._advance()
+        self._assign_max_min_rates()
+        self._schedule_next_completion()
 
     def _advance(self) -> None:
         """Apply progress since the last rate change.
@@ -245,47 +367,59 @@ class Network:
         dt = now - self._last_advance
         self._last_advance = now
         completed: List[Transfer] = []
-        for transfer in self._active:
-            if dt > 0:
-                moved = transfer.rate * dt
-                transfer.remaining -= moved
-                for link in transfer.links:
-                    link.bytes_delivered += moved
-            # absolute-and-relative epsilon: sub-byte remainders and
-            # remainders the current rate cannot resolve within a
-            # float tick both count as done (the 1e-6 absolute floor
-            # absorbs the old max(_EPS, ...) lower clamp)
-            slack = transfer.rate * now * 1e-12
-            if transfer.remaining <= (slack if slack > 1e-6 else 1e-6):
-                for link in transfer.links:
-                    link.bytes_delivered += transfer.remaining
-                transfer.remaining = 0.0
-                completed.append(transfer)
+        slack_scale = now * 1e-12
+        if dt > 0:
+            # per-link byte accounting as the aggregate-rate integral:
+            # sum(rate_i) * dt instead of one += per transfer per link
+            # (equal up to float accumulation order, which is all the
+            # byte counters promise — the monitor and the tests read
+            # them with relative tolerances)
+            for link in self._active_links:
+                link.bytes_delivered += link._agg_rate * dt
+            for transfer in self._active:
+                transfer.remaining -= transfer.rate * dt
+                # absolute-and-relative epsilon: sub-byte remainders
+                # and remainders the current rate cannot resolve within
+                # a float tick both count as done (the 1e-6 absolute
+                # floor absorbs the old max(_EPS, ...) lower clamp)
+                slack = transfer.rate * slack_scale
+                if transfer.remaining <= (slack if slack > 1e-6 else 1e-6):
+                    completed.append(transfer)
+        else:
+            for transfer in self._active:
+                slack = transfer.rate * slack_scale
+                if transfer.remaining <= (slack if slack > 1e-6 else 1e-6):
+                    completed.append(transfer)
         for transfer in completed:
+            for link in transfer.links:
+                link.bytes_delivered += transfer.remaining
+            transfer.remaining = 0.0
             self._detach(transfer)
             transfer.finished_at = now
             transfer.done.succeed(value=transfer)
 
-    def _recompute_and_reschedule(self) -> None:
-        self._assign_max_min_rates()
-        self._schedule_next_completion()
-
     def _assign_max_min_rates(self) -> None:
         """Progressive filling restricted to the active-link set.
 
-        Candidate links are visited in registration order so every
-        share comparison (including the ``_EPS`` strict-improvement
-        tie-break) and every cap subtraction is bit-identical to the
-        seed's full-link scan.
+        Round 1 runs the seed's registration-order scan over pristine
+        capacities (feeding the freeze-all fast path).  Later rounds
+        pull the most-contended link from a lazy min-heap keyed
+        ``(share, registration index)``: freezing a link's transfers
+        touches only the links on their paths, whose entries are
+        version-bumped and re-pushed fresh, so a round costs
+        O(path · log links) instead of rescanning every active link.
+        Share values are computed from exactly the same books with
+        exactly the same ``cap_left / count`` arithmetic as the seed's
+        scan, and exact ties resolve to the lowest registration index
+        either way, which keeps the assigned rates bit-identical (the
+        parity suite is the proof).
         """
-        for link in self._alloc_links:
-            link._agg_rate = 0.0
+        self.allocations += 1
+        gen = self._alloc_gen = self._alloc_gen + 1
         active = self._active
         if not active:
-            self._alloc_links = []
             return
         links = self._active_links
-        self._alloc_links = list(links)
 
         # round 1 over pristine capacities needs no cap/count books:
         # the unfrozen count of every active link is its flow count
@@ -307,65 +441,204 @@ class Network:
                 transfer.rate = rate
             for link in links:
                 link._agg_rate = rate * len(link.transfers)
+                link._agg_gen = gen
             return
 
         # general case: run full progressive filling (round 1's best
-        # link is already known; its books start pristine)
+        # link is already known; its books start pristine).
+        #
+        # Selection structure: *pristine* links (books untouched since
+        # the pass began) live in a share-sorted array consumed by an
+        # advancing cursor — pristine shares never change and
+        # progressive filling consumes them in (share, index) order,
+        # so the first still-valid entry at the cursor is always the
+        # pristine minimum; entries go stale in place when a freeze
+        # touches their link (version bump), never to revalidate.
+        # Touched links move to the small `fresh` set (typically just
+        # the server access link plus a shared bottleneck) whose
+        # shares are recomputed from live books each round.
+        #
+        # Seed-exactness: the seed scans every candidate in
+        # registration order keeping a running best that only a strict
+        # > _EPS improvement replaces, so (a) its winner is always
+        # within _EPS of the exact minimum share, and (b) any
+        # candidate that can beat or block the winner must itself lie
+        # within 2·_EPS of the minimum.  Hence when every candidate
+        # share inside that window *equals* the minimum (the common
+        # case — including exact ties between same-capacity links),
+        # the seed's pick is simply the lowest-index minimum holder;
+        # only genuinely distinct shares within the window (engineered
+        # sub-_EPS near-ties) require replaying the seed's full
+        # in-order hysteresis scan, which reproduces it bit-for-bit.
         for transfer in active:
             transfer.rate = 0.0
+        order: List[Tuple[float, int, Link]] = []
         for link in links:
             link._cap_left = link.capacity_bps
             link._cnt = len(link.transfers)
-        unfrozen = set(active)
+            link._version = 0
+            if link is not best_link:
+                order.append(
+                    (link.capacity_bps / len(link.transfers), link.index, link)
+                )
+        order.sort()
+        pristine_shares = [entry[0] for entry in order]
+        pos = 0
+        n_order = len(order)
+        unfrozen_left = len(active)
+        fresh: Dict[Link, None] = {}
         while True:
             for transfer in best_link.transfers:
-                if transfer not in unfrozen:
+                if transfer._frozen_gen == gen:
                     continue
+                transfer._frozen_gen = gen
                 transfer.rate = rate
-                unfrozen.discard(transfer)
+                unfrozen_left -= 1
                 for link in transfer.links:
                     link._cap_left -= rate
                     link._cnt -= 1
-                    link._agg_rate += rate
-            if not unfrozen:
+                    if link._agg_gen == gen:
+                        link._agg_rate += rate
+                    else:
+                        link._agg_rate = rate
+                        link._agg_gen = gen
+                    link._version = 1  # pristine entry now stale
+                    fresh[link] = None
+            if unfrozen_left == 0:
                 return
-            # most-contended remaining link: smallest equal share among
-            # links that still carry unfrozen transfers
-            best_link = None
-            best_share = math.inf
-            for link in links:
+            # candidate minima: recomputed fresh shares + the pristine
+            # cursor; near-tie detection looks for a share inside the
+            # (min, min + 2·_EPS] window that differs from the minimum
+            exact_min = math.inf
+            min_index = -1
+            min_link = None
+            near_tie = False
+            drained = []
+            fresh_shares: List[Tuple[float, int, Link]] = []
+            for link in fresh:
                 count = link._cnt
                 if count <= 0:
+                    drained.append(link)
                     continue
                 share = link._cap_left / count
-                if share < best_share - _EPS:
-                    best_share = share
-                    best_link = link
-            if best_link is None:
+                fresh_shares.append((share, link.index, link))
+                if share < exact_min or (
+                    share == exact_min and link.index < min_index
+                ):
+                    exact_min = share
+                    min_index = link.index
+                    min_link = link
+            for link in drained:
+                del fresh[link]
+            while pos < n_order and order[pos][2]._version != 0:
+                pos += 1
+            if pos < n_order:
+                share, index, link = order[pos]
+                if share < exact_min or (share == exact_min and index < min_index):
+                    exact_min = share
+                    min_index = index
+                    min_link = link
+            if min_link is None:
                 return
+            window = exact_min + _EPS + _EPS
+            for share, _index, _link in fresh_shares:
+                if share != exact_min and share <= window:
+                    near_tie = True
+                    break
+            if not near_tie:
+                # first pristine share strictly above the minimum (the
+                # sorted array makes this a bisect; a stale entry here
+                # only forces the conservative fallback, never a miss —
+                # its link's live share is checked on the fresh side)
+                after_min = bisect_right(pristine_shares, exact_min, pos)
+                if after_min < n_order and pristine_shares[after_min] <= window:
+                    near_tie = True
+            if near_tie:
+                # replay the seed's ordered hysteresis scan over every
+                # live candidate, bit-for-bit
+                candidates = [
+                    (index, share, link) for share, index, link in fresh_shares
+                ]
+                candidates.extend(
+                    (index, share, link)
+                    for share, index, link in order[pos:]
+                    if link._version == 0
+                )
+                candidates.sort()
+                best_link = None
+                best_share = math.inf
+                for _index, share, link in candidates:
+                    if share < best_share - _EPS:
+                        best_share = share
+                        best_link = link
+                if best_link is None:
+                    return
+            else:
+                best_link = min_link
+                best_share = exact_min
+            fresh.pop(best_link, None)
             rate = max(best_share, 0.0)
 
     def _schedule_next_completion(self) -> None:
+        """Rearm the single completion timer from the lazy ETA heap.
+
+        Each active flow's absolute ETA (``now + remaining / rate``) is
+        refreshed after an allocation pass; a flow whose ETA is
+        unchanged (its rate survived the pass and no time elapsed)
+        keeps its live heap entry instead of pushing a new one.
+        Entries are invalidated by stamp when a transfer detaches,
+        starves (rate ≤ ε) or re-keys, and skipped lazily at the top.
+        """
         timer = self._completion_timer
         if timer is not None:
             # supersede in place: the stale heap entry fires as a no-op
             # instead of accumulating a live closure per recompute
             timer.cancel()
             self._completion_timer = None
-        soonest = math.inf
+        heap = self._eta_heap
+        now = self.sim.now
+        seq = self._eta_seq
+        kept = 0
+        pushes: List[Tuple[float, int, int, Transfer]] = []
         for transfer in self._active:
             rate = transfer.rate
             if rate > _EPS:
-                eta = transfer.remaining / rate
-                if eta < soonest:
-                    soonest = eta
-        if math.isinf(soonest):
+                eta = now + transfer.remaining / rate
+                if eta != transfer._eta:
+                    stamp = transfer._eta_stamp + 1
+                    transfer._eta_stamp = stamp
+                    transfer._eta = eta
+                    seq += 1
+                    pushes.append((eta, seq, stamp, transfer))
+                else:
+                    # the allocation left this flow's rate (hence its
+                    # absolute ETA) bit-identical: its live entry stands
+                    kept += 1
+            elif transfer._eta is not None:
+                transfer._eta_stamp += 1
+                transfer._eta = None
+        self._eta_seq = seq
+        if not pushes and not kept:
+            heap.clear()
             return
-        self._completion_timer = self.sim.call_in(
-            max(soonest, 0.0), self._on_completion
-        )
+        if kept == 0:
+            # every prior entry is stale (the common dt > 0 flush, where
+            # each advance re-keys all ETAs): rebuild in one heapify
+            # instead of wading through the stale entries lazily
+            heap[:] = pushes
+            heapify(heap)
+        else:
+            for entry in pushes:
+                heappush(heap, entry)
+            while heap:
+                _eta, _seq, stamp, transfer = heap[0]
+                if stamp == transfer._eta_stamp:
+                    break
+                heappop(heap)
+        if not heap:
+            return
+        self._completion_timer = self.sim.call_at(heap[0][0], self._on_completion)
 
     def _on_completion(self) -> None:
         self._completion_timer = None
-        self._advance()
-        self._recompute_and_reschedule()
+        self._mark_dirty()

@@ -21,11 +21,13 @@ trajectory to beat.
 from repro.perf.baseline import (
     BASELINE_FILENAME,
     compare_to_baseline,
+    find_regressions,
     load_bench_file,
     write_bench_file,
 )
 from repro.perf.benches import (
     bench_allocator,
+    bench_allocator_sync_crowd,
     bench_kernel_cascade,
     bench_kernel_timers,
     bench_world,
@@ -36,10 +38,12 @@ from repro.perf.benches import (
 __all__ = [
     "BASELINE_FILENAME",
     "bench_allocator",
+    "bench_allocator_sync_crowd",
     "bench_kernel_cascade",
     "bench_kernel_timers",
     "bench_world",
     "compare_to_baseline",
+    "find_regressions",
     "load_bench_file",
     "run_kernel_suite",
     "run_world_suite",

@@ -76,6 +76,39 @@ def compare_to_baseline(
     return rows
 
 
+def find_regressions(
+    rows: List[Dict], max_regression: float = 0.25
+) -> List[Dict]:
+    """Comparison rows that regressed beyond the allowed fraction.
+
+    A bench regresses when ``seconds > baseline_seconds * (1 +
+    max_regression)``; rows without a comparable baseline entry are
+    skipped (new benches cannot regress).  Each returned row carries
+    ``key``, ``seconds``, ``baseline_seconds`` and ``slowdown`` (the
+    current/baseline ratio), worst first — this is what ``repro perf
+    --check`` turns into a nonzero exit code.
+    """
+    if max_regression < 0:
+        raise ValueError("max_regression must be non-negative")
+    regressions: List[Dict] = []
+    for row in rows:
+        base = row["baseline_seconds"]
+        if base is None or base <= 0:
+            continue
+        slowdown = row["seconds"] / base
+        if slowdown > 1.0 + max_regression:
+            regressions.append(
+                {
+                    "key": row["key"],
+                    "seconds": row["seconds"],
+                    "baseline_seconds": base,
+                    "slowdown": slowdown,
+                }
+            )
+    regressions.sort(key=lambda r: r["slowdown"], reverse=True)
+    return regressions
+
+
 def render_comparison(rows: List[Dict]) -> str:
     """Monospace table of comparison rows for terminal output."""
     lines = [

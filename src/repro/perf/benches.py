@@ -9,7 +9,10 @@ Three layers, three benches:
   as a function of concurrent flow count in a topology with many
   *registered but idle* access links, which is exactly the shape an
   MFC world has (every fleet client owns an access link, only the
-  current crowd's links are active);
+  current crowd's links are active); `bench_allocator_sync_crowd`
+  launches whole crowds at single simulated instants through the
+  batch API and reports how many allocator passes the end-of-instant
+  transaction folded away (`coalescing_factor`);
 - **world** — `bench_world` runs a complete Large Object experiment
   (fleet, coordinator, epochs) and is the acceptance benchmark: its
   wall-clock time is what future perf PRs are judged against, and its
@@ -118,6 +121,8 @@ def bench_allocator(
     """
     from repro.net.link import Network
 
+    state: Dict = {}
+
     def run() -> None:
         sim = Simulator()
         net = Network(sim)
@@ -132,12 +137,13 @@ def bench_allocator(
             ]
             sim.run()
             assert all(t.done.processed for t in transfers)
+        state["recomputes"] = net.allocations
 
     seconds = _best_of(repeats, run)
-    # one recompute per join; the flows are same-size at equal rates,
-    # so each round's completions land on one timestamp and are swept
-    # by a single batched recompute
-    recomputes = n_rounds * (n_flows + 1)
+    # measured allocator passes: one per (eagerly flushed, outside-run)
+    # join plus, per round, one batched sweep of the equal-rate
+    # completions that land on a single timestamp — n_rounds*(n_flows+1)
+    recomputes = state["recomputes"]
     return {
         "seconds": seconds,
         "recomputes": recomputes,
@@ -145,6 +151,62 @@ def bench_allocator(
         "params": {
             "n_flows": n_flows,
             "n_idle_links": n_idle_links,
+            "n_rounds": n_rounds,
+            "repeats": repeats,
+        },
+    }
+
+
+def bench_allocator_sync_crowd(
+    n_clients: int = 500,
+    n_rounds: int = 8,
+    repeats: int = 3,
+) -> Dict:
+    """Allocator cost for crowds synchronized *by construction*.
+
+    Every round fires one whole crowd — ``n_clients`` same-size
+    transfers over (server link, private access link) paths — at a
+    single simulated instant through :meth:`Network.start_transfers`,
+    exactly the shape the paper's epochs have.  The end-of-instant
+    transaction folds each round into one allocator pass for the joins
+    and one for the batched completion sweep, where a per-event
+    allocator would pay ``n_clients + 1`` passes; ``coalescing_factor``
+    reports that ratio from the measured `Network.allocations` counter.
+    """
+    from repro.net.link import Network
+
+    state: Dict = {}
+
+    def run() -> None:
+        sim = Simulator()
+        net = Network(sim)
+        server = net.add_link("server", 2.5e3 * n_clients)
+        access = [net.add_link(f"acc{i}", 12.5e6) for i in range(n_clients)]
+
+        def launch() -> None:
+            net.start_transfers(
+                [([server, access[i]], 250_000.0) for i in range(n_clients)]
+            )
+
+        for r in range(n_rounds):
+            # rounds are spaced far beyond each crowd's drain time, so
+            # every crowd starts (and, at equal rates, completes) on
+            # one timestamp of its own
+            sim.call_at(r * 1000.0, launch)
+        sim.run()
+        assert not net._active
+        state["recomputes"] = net.allocations
+
+    seconds = _best_of(repeats, run)
+    recomputes = state["recomputes"]
+    per_event = n_rounds * (n_clients + 1)
+    return {
+        "seconds": seconds,
+        "recomputes": recomputes,
+        "per_event_recomputes": per_event,
+        "coalescing_factor": per_event / recomputes if recomputes else 0.0,
+        "params": {
+            "n_clients": n_clients,
             "n_rounds": n_rounds,
             "repeats": repeats,
         },
@@ -245,6 +307,11 @@ def run_kernel_suite(quick: bool = False) -> Dict[str, Dict]:
             n_rounds=4 if quick else 20,
             repeats=repeats,
         )
+    benches[f"allocator.sync_crowd{suffix}"] = bench_allocator_sync_crowd(
+        n_clients=100 if quick else 500,
+        n_rounds=2 if quick else 8,
+        repeats=repeats,
+    )
     return benches
 
 
@@ -252,8 +319,10 @@ def run_world_suite(quick: bool = False) -> Dict[str, Dict]:
     """End-to-end world benches → the ``BENCH_world.json`` payload.
 
     The full suite always contains the 200-client Large Object world —
-    the acceptance benchmark; ``quick`` swaps in a small world for CI
-    smoke runs (same shape, ~10x cheaper, still fingerprinted).
+    the acceptance benchmark — plus 500- and 1000-client crowd-scale
+    worlds tracking the ROADMAP's thousand-client goal; ``quick``
+    swaps in a small world for CI smoke runs (same shape, ~10x
+    cheaper, still fingerprinted).
     """
     if quick:
         return {
@@ -264,5 +333,11 @@ def run_world_suite(quick: bool = False) -> Dict[str, Dict]:
     return {
         "world.large_object_200": bench_world(
             n_clients=200, max_crowd=200, crowd_step=10, repeats=2
+        ),
+        "world.large_object_500": bench_world(
+            n_clients=500, max_crowd=400, crowd_step=20, repeats=1
+        ),
+        "world.large_object_1000": bench_world(
+            n_clients=1000, max_crowd=600, crowd_step=30, repeats=1
         ),
     }

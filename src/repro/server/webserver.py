@@ -102,10 +102,15 @@ class SimWebServer:
         try:
             threshold = self.spec.accept_thrash_threshold
             if threshold is not None:
-                self._recent_arrivals.append(arrival)
-                while self._recent_arrivals and self._recent_arrivals[0] < arrival - 1.0:
-                    self._recent_arrivals.popleft()
-                burst = len(self._recent_arrivals)
+                # a synchronized crowd lands N arrivals on this very
+                # instant, so the window trim and burst test run N
+                # times per epoch — keep them tight
+                recent = self._recent_arrivals
+                recent.append(arrival)
+                horizon = arrival - 1.0
+                while recent[0] < horizon:
+                    recent.popleft()
+                burst = len(recent)
                 if burst > threshold:
                     self._thrashing = True
                 elif burst <= max(threshold // 4, 1):
@@ -167,7 +172,16 @@ class SimWebServer:
         yield from self.resources.consume_cpu(send_cpu)
 
     def _send(self, client: ClientNode, size_bytes: float, rtt: float) -> Generator:
-        """Deliver *size_bytes* to the client through the fluid network."""
+        """Deliver *size_bytes* to the client through the fluid network.
+
+        When a synchronized crowd's responses (or a burst of refused
+        503 headers, which reach here with no worker/CPU delay) start
+        their transfers at one simulated instant, the network's
+        end-of-instant transaction coalesces them into a single
+        max-min allocation pass — the per-response call here stays a
+        plain :meth:`~repro.net.link.Network.start_transfer` join,
+        which is O(path) since the coalescing refactor.
+        """
         path = client.download_path(self.access_link)
         yield from self.tcp.download(self.sim, self.network, path, size_bytes, rtt)
         if self.spec.accept_thrash_threshold is not None and self._thrashing:

@@ -20,6 +20,17 @@ Two kinds of entry live on the heap:
 The timestamp arithmetic is deliberately kept identical to the
 original Event-based path (``now + (when - now)`` for absolute
 scheduling) so refactors on top of the fast path stay byte-identical.
+
+**Allocation instants.**  :meth:`Simulator.at_instant_end` registers a
+callback to run once the current same-timestamp batch has fully
+drained, *before* the clock advances to the next pending timestamp.
+This is the hook the fluid network's end-of-instant allocation
+transaction rides on: any number of transfer joins/leaves at one
+simulated instant are folded into a single rate recompute.  Callbacks
+may schedule new work at the current instant (a flush can complete
+transfers whose cascades run at the same timestamp); the stepper keeps
+alternating batch-drain and instant-end callbacks until the instant is
+quiescent, then moves on.
 """
 
 from __future__ import annotations
@@ -69,6 +80,8 @@ class Simulator:
         self._heap: list = []
         self._eid = itertools.count()
         self._running = False
+        #: callbacks to run when the current instant finishes draining
+        self._instant_cbs: list = []
 
     @property
     def now(self) -> float:
@@ -100,6 +113,26 @@ class Simulator:
     def call_in(self, delay: float, fn: Callable[[], Any]) -> Timer:
         """Run ``fn()`` after *delay* seconds of simulated time."""
         return self.call_at(self._now + delay, fn)
+
+    def at_instant_end(self, fn: Callable[[], Any]) -> None:
+        """Run ``fn()`` once the current simulated instant has drained.
+
+        The callback fires after every already-pending event with the
+        current timestamp has been processed and before the clock
+        advances.  Callbacks run in registration order; a callback may
+        push new events at the current instant (they are drained before
+        the clock moves) and may register further instant-end
+        callbacks (they run after that drain).  One registration is
+        one call — periodic hooks must re-register themselves.
+        """
+        self._instant_cbs.append(fn)
+
+    def _run_instant_end(self) -> None:
+        """Fire the registered instant-end callbacks exactly once."""
+        cbs = self._instant_cbs
+        self._instant_cbs = []
+        for fn in cbs:
+            fn()
 
     # -- factories ------------------------------------------------------
 
@@ -134,7 +167,17 @@ class Simulator:
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> None:
-        """Process exactly one pending event."""
+        """Process exactly one pending event.
+
+        If that event completes the current instant (the next pending
+        timestamp differs, or the heap empties), any registered
+        instant-end callbacks run before ``step`` returns.  Note that
+        ``step`` does not mark the simulator as running, so components
+        that defer work to the instant boundary only while the loop is
+        live (the fluid network's allocation flush) fall back to their
+        eager per-mutation path under single-stepping — same results,
+        no coalescing.
+        """
         when, _eid, obj = heapq.heappop(self._heap)
         if when < self._now:
             raise SimulationError("event heap corrupted: time went backwards")
@@ -146,6 +189,10 @@ class Simulator:
                 fn()
         else:
             obj._fire()
+        while self._instant_cbs and (
+            not self._heap or self._heap[0][0] != self._now
+        ):
+            self._run_instant_end()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock reaches *until*.
@@ -160,7 +207,15 @@ class Simulator:
             heap = self._heap
             pop = heapq.heappop
             timer_cls = Timer
-            while heap:
+            while True:
+                if self._instant_cbs and (not heap or heap[0][0] != self._now):
+                    # the current instant has fully drained: run its
+                    # end-of-instant transactions (which may push new
+                    # events at this very instant) before moving on
+                    self._run_instant_end()
+                    continue
+                if not heap:
+                    break
                 when = heap[0][0]
                 if until is not None and when > until:
                     break
@@ -198,6 +253,12 @@ class Simulator:
             pop = heapq.heappop
             timer_cls = Timer
             while not process._processed:
+                if self._instant_cbs and (not heap or heap[0][0] != self._now):
+                    # end of the current instant: run its transactions
+                    # (they may push same-instant events) before either
+                    # advancing time or declaring a deadlock
+                    self._run_instant_end()
+                    continue
                 if not heap:
                     raise SimulationError("deadlock: process pending but no events")
                 when = heap[0][0]
@@ -212,6 +273,12 @@ class Simulator:
                         fn()
                 else:
                     obj._fire()
+            # the awaited process can finish mid-instant with
+            # end-of-instant transactions still queued (e.g. a network
+            # flush armed by its final mutation); run them before
+            # returning so post-run state is settled and re-armable
+            while self._instant_cbs:
+                self._run_instant_end()
         finally:
             self._running = False
         if not process.ok:

@@ -6,8 +6,10 @@ from repro.core.config import MFCConfig
 from repro.core.epochs import (
     EpochPlanner,
     degradation_aggregate,
+    degradation_aggregate_sorted,
     median,
     quantile,
+    quantile_sorted,
 )
 from repro.core.records import EpochLabel, EpochResult, StageOutcome
 
@@ -67,6 +69,49 @@ def test_quantile_validation():
         quantile([], 0.5)
     with pytest.raises(ValueError):
         quantile([1.0], 1.5)
+
+
+def test_quantile_sorted_matches_quantile_on_random_samples():
+    import random
+
+    rng = random.Random(7)
+    for _ in range(25):
+        values = [rng.uniform(-5, 5) for _ in range(rng.randint(1, 40))]
+        q = rng.random()
+        assert quantile_sorted(sorted(values), q) == quantile(values, q)
+
+
+def test_sorted_variants_do_not_sort_again(monkeypatch):
+    """The per-epoch contract: one sort, then every statistic reads
+    the ordered sample without paying another O(n log n)."""
+    import repro.core.epochs as epochs_mod
+
+    ordered = sorted([0.4, 0.1, 0.9, 0.3, 0.7])
+
+    def exploding_sorted(*_args, **_kwargs):
+        raise AssertionError("sorted() called on an already-ordered sample")
+
+    # shadow the builtin within the module: any hidden re-sort explodes
+    monkeypatch.setattr(epochs_mod, "sorted", exploding_sorted, raising=False)
+    assert quantile_sorted(ordered, 0.5) == 0.4
+    assert degradation_aggregate_sorted(ordered, 0.9) == pytest.approx(
+        quantile_sorted(ordered, 0.1)
+    )
+
+
+def test_sorted_variants_validate_like_quantile():
+    with pytest.raises(ValueError):
+        quantile_sorted([], 0.5)
+    with pytest.raises(ValueError):
+        quantile_sorted([1.0], 1.5)
+
+
+def test_degradation_aggregate_sorted_matches_unsorted():
+    values = [0.25, 0.05, 0.8, 0.6, 0.1, 0.9, 0.4]
+    for fraction in (0.5, 0.9):
+        assert degradation_aggregate_sorted(
+            sorted(values), fraction
+        ) == degradation_aggregate(values, fraction)
 
 
 def test_degradation_aggregate_median_rule():

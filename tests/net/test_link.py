@@ -182,6 +182,92 @@ def test_invalid_capacity_rejected():
         Link("bad", 0.0)
 
 
+def test_start_transfers_batch_matches_sequential_starts():
+    """A batch launch allocates once but lands the same rates,
+    completion times and byte totals as per-call starts."""
+    sizes = [100.0, 450.0, 901.0, 77.0, 3000.0]
+
+    sim_a, net_a = make_net()
+    link_a = net_a.add_link("l", 1234.0)
+    seq = [net_a.start_transfer([link_a], s) for s in sizes]
+    sim_a.run()
+
+    sim_b, net_b = make_net()
+    link_b = net_b.add_link("l", 1234.0)
+    batch = net_b.start_transfers([([link_b], s) for s in sizes])
+    assert net_b.allocations == 1  # one transaction for the whole crowd
+    sim_b.run()
+
+    assert [t.finished_at for t in batch] == [t.finished_at for t in seq]
+    assert link_b.bytes_delivered == pytest.approx(link_a.bytes_delivered)
+
+
+def test_start_transfers_handles_zero_byte_entries():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    batch = net.start_transfers([([link], 0.0), ([link], 1000.0)])
+    assert batch[0].done.triggered
+    assert batch[0].finished_at == 0.0
+    sim.run()
+    assert batch[1].finished_at == pytest.approx(1.0)
+
+
+def test_start_transfers_validates_before_starting_any():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    with pytest.raises(SimulationError):
+        net.start_transfers([([link], 10.0), ([], 5.0)])
+    with pytest.raises(SimulationError):
+        net.start_transfers([([link], 10.0), ([link], -1.0)])
+    # the invalid batches started nothing
+    assert not net._active
+    sim.run()
+
+
+def test_same_instant_starts_inside_run_allocate_once():
+    """N joins at one simulated instant cost one allocator pass."""
+    sim, net = make_net()
+    server = net.add_link("server", 1000.0)
+    access = [net.add_link(f"acc{i}", 10_000.0) for i in range(8)]
+    transfers = []
+
+    def crowd():
+        for i in range(8):
+            transfers.append(net.start_transfer([server, access[i]], 125.0))
+
+    sim.call_at(1.0, crowd)
+    sim.run()
+    # one pass for the crowd's instant, one for the batched completion
+    # sweep (all flows share the bottleneck equally, so they finish on
+    # a single timestamp)
+    assert net.allocations == 2
+    finish = transfers[0].finished_at
+    assert finish == pytest.approx(2.0)
+    assert all(t.finished_at == finish for t in transfers)
+
+
+def test_flush_not_stranded_when_awaited_process_ends_at_start_instant():
+    """A transfer started at the final instant of a run_until_complete'd
+    process must still get its end-of-instant allocation, and later
+    synchronous mutations must flush eagerly again (the armed flush is
+    not stranded by the early loop exit)."""
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    holder = {}
+
+    def body():
+        yield 1.0
+        holder["t"] = net.start_transfer([link], 1000.0)
+        return "done"
+
+    assert sim.run_until_complete(sim.process(body())) == "done"
+    assert holder["t"].rate == pytest.approx(1000.0)  # flush ran
+    # the network is re-armable: a synchronous start allocates eagerly
+    t2 = net.start_transfer([link], 1000.0)
+    assert t2.rate == pytest.approx(500.0)
+    assert holder["t"].rate == pytest.approx(500.0)
+
+
 def test_many_flows_on_shared_plus_private_links():
     """N flows over the server link, each with a private fat access link."""
     sim, net = make_net()

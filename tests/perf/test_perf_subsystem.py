@@ -1,4 +1,4 @@
-"""Unit tests for the perf benches and baseline machinery."""
+"""Unit tests for the perf benches, baseline machinery and perf gate."""
 
 import json
 
@@ -6,9 +6,11 @@ import pytest
 
 from repro.perf import (
     bench_allocator,
+    bench_allocator_sync_crowd,
     bench_kernel_cascade,
     bench_kernel_timers,
     compare_to_baseline,
+    find_regressions,
     load_bench_file,
     write_bench_file,
 )
@@ -26,8 +28,42 @@ def test_kernel_benches_report_throughput():
 
 def test_allocator_bench_counts_recomputes():
     rec = bench_allocator(n_flows=5, n_idle_links=20, n_rounds=2, repeats=1)
-    assert rec["recomputes"] == 2 * (5 + 1)  # joins + one batched sweep
+    # measured from Network.allocations: joins (eager, outside the
+    # event loop) + one batched completion sweep per round
+    assert rec["recomputes"] == 2 * (5 + 1)
     assert rec["us_per_recompute"] > 0
+
+
+def test_sync_crowd_bench_coalesces_at_least_5x():
+    """The acceptance criterion: a synchronized crowd folds ≥5x more
+    per-event recomputes into its end-of-instant passes."""
+    rec = bench_allocator_sync_crowd(n_clients=50, n_rounds=3, repeats=1)
+    # two allocator passes per round: the crowd's join instant and the
+    # batched completion sweep
+    assert rec["recomputes"] == 2 * 3
+    assert rec["per_event_recomputes"] == 3 * (50 + 1)
+    assert rec["coalescing_factor"] >= 5.0
+
+
+def test_find_regressions_flags_only_threshold_breaches():
+    rows = compare_to_baseline(
+        {
+            "slow": {"seconds": 2.0, "params": {}},
+            "ok": {"seconds": 1.1, "params": {}},
+            "fresh": {"seconds": 9.9, "params": {}},  # no baseline entry
+        },
+        {
+            "slow": {"seconds": 1.0, "params": {}},
+            "ok": {"seconds": 1.0, "params": {}},
+        },
+    )
+    regs = find_regressions(rows, max_regression=0.25)
+    assert [r["key"] for r in regs] == ["slow"]
+    assert regs[0]["slowdown"] == pytest.approx(2.0)
+    # a generous threshold clears everything
+    assert find_regressions(rows, max_regression=2.0) == []
+    with pytest.raises(ValueError):
+        find_regressions(rows, max_regression=-0.1)
 
 
 def test_bench_file_roundtrip(tmp_path):
@@ -79,6 +115,207 @@ def test_render_comparison_marks_drift():
     table = render_comparison(rows)
     assert "DRIFT" in table
     assert "2.00x" in table
+
+
+def _canned_suites(monkeypatch, kernel_seconds=1.0, world_seconds=1.0):
+    """Patch the bench suites so CLI gate tests run in microseconds."""
+    import repro.perf as perf_pkg
+
+    kernel = {
+        "kernel.timers.quick": {"seconds": kernel_seconds, "params": {"n": 1}},
+        "allocator.flows_10.quick": {"seconds": kernel_seconds, "params": {"n": 2}},
+    }
+    world = {
+        "world.tiny": {
+            "seconds": world_seconds,
+            "params": {"n": 3},
+            "fingerprint": "sha256:feed",
+        },
+    }
+    monkeypatch.setattr(perf_pkg, "run_kernel_suite", lambda quick=False: kernel)
+    monkeypatch.setattr(perf_pkg, "run_world_suite", lambda quick=False: world)
+    return {**kernel, **world}
+
+
+def _write_baseline(path, benches, scale=1.0):
+    doctored = {
+        key: {**rec, "seconds": rec["seconds"] * scale}
+        for key, rec in benches.items()
+    }
+    write_bench_file(str(path), doctored)
+
+
+def test_perf_check_exits_nonzero_on_doctored_regressed_baseline(
+    monkeypatch, tmp_path, capsys
+):
+    """The acceptance criterion: feeding --check a baseline that makes
+    the current numbers look >25% slower must exit nonzero."""
+    from repro.cli import main
+
+    benches = _canned_suites(monkeypatch)
+    baseline = tmp_path / "BENCH_baseline.json"
+    # doctor the baseline to half the current wall time → 2x "regression"
+    _write_baseline(baseline, benches, scale=0.5)
+    code = main(
+        [
+            "perf", "--quick", "--check", "--no-root-mirror",
+            "--out", str(tmp_path / "results"),
+            "--baseline", str(baseline),
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "perf regression" in err
+
+
+def test_perf_check_passes_against_honest_baseline(monkeypatch, tmp_path):
+    from repro.cli import main
+
+    benches = _canned_suites(monkeypatch)
+    baseline = tmp_path / "BENCH_baseline.json"
+    _write_baseline(baseline, benches, scale=1.0)
+    code = main(
+        [
+            "perf", "--quick", "--check", "--no-root-mirror",
+            "--out", str(tmp_path / "results"),
+            "--baseline", str(baseline),
+        ]
+    )
+    assert code == 0
+
+
+def test_perf_check_respects_max_regression_flag(monkeypatch, tmp_path):
+    from repro.cli import main
+
+    benches = _canned_suites(monkeypatch)
+    baseline = tmp_path / "BENCH_baseline.json"
+    _write_baseline(baseline, benches, scale=0.5)  # current looks 2x slower
+    code = main(
+        [
+            "perf", "--quick", "--check", "--no-root-mirror",
+            "--max-regression", "1.5",  # allow up to 2.5x
+            "--out", str(tmp_path / "results"),
+            "--baseline", str(baseline),
+        ]
+    )
+    assert code == 0
+
+
+def test_perf_check_keys_scopes_the_timing_gate(monkeypatch, tmp_path):
+    """--check-keys gates only matching benches: a world-bench
+    'regression' (cross-machine wall-clock noise) passes a gate scoped
+    to kernel./allocator., and fails an unscoped one."""
+    from repro.cli import main
+
+    benches = _canned_suites(monkeypatch)
+    baseline = tmp_path / "BENCH_baseline.json"
+    # doctor only the world bench into a regression
+    doctored = {
+        key: {**rec, "seconds": rec["seconds"] * (0.1 if key.startswith("world.") else 1.0)}
+        for key, rec in benches.items()
+    }
+    write_bench_file(str(baseline), doctored)
+    scoped = [
+        "perf", "--quick", "--check", "--no-root-mirror",
+        "--check-keys", "kernel.", "--check-keys", "allocator.",
+        "--out", str(tmp_path / "results"),
+        "--baseline", str(baseline),
+    ]
+    assert main(scoped) == 0
+    unscoped = [a for a in scoped if a not in ("--check-keys", "kernel.", "allocator.")]
+    assert main(unscoped) == 1
+
+
+def test_perf_check_fails_without_baseline(monkeypatch, tmp_path):
+    from repro.cli import main
+
+    _canned_suites(monkeypatch)
+    code = main(
+        [
+            "perf", "--quick", "--check", "--no-root-mirror",
+            "--out", str(tmp_path / "results"),
+            "--baseline", str(tmp_path / "missing.json"),
+        ]
+    )
+    assert code == 1
+
+
+def test_perf_mirrors_bench_files_to_project_root(monkeypatch, tmp_path):
+    """The cross-PR trajectory record: root-level BENCH_* copies land
+    in the project root resolved from --out, regardless of the cwd."""
+    import os
+
+    from repro.cli import main
+
+    _canned_suites(monkeypatch)
+    repo = tmp_path / "repo"
+    (repo / "benchmarks").mkdir(parents=True)
+    (repo / "pyproject.toml").write_text("")  # the root marker
+    elsewhere = tmp_path / "elsewhere"
+    elsewhere.mkdir()
+    monkeypatch.chdir(elsewhere)  # cwd must NOT receive the mirrors
+    out = repo / "benchmarks" / "results"
+    code = main(["perf", "--out", str(out)])
+    assert code == 0
+    assert load_bench_file(str(out / "BENCH_kernel.json"))
+    # the mirrored root copies exist and match the --out payloads
+    assert load_bench_file(str(repo / "BENCH_kernel.json")) == load_bench_file(
+        str(out / "BENCH_kernel.json")
+    )
+    assert load_bench_file(str(repo / "BENCH_world.json")) == load_bench_file(
+        str(out / "BENCH_world.json")
+    )
+    assert not os.path.exists(elsewhere / "BENCH_kernel.json")
+    assert not os.path.exists(repo / "BENCH_baseline.json")
+
+
+def test_perf_mirror_skipped_outside_any_project(monkeypatch, tmp_path):
+    """No project root above --out → no stray mirror files."""
+    import os
+
+    from repro.cli import main
+
+    _canned_suites(monkeypatch)
+    monkeypatch.chdir(tmp_path)
+    code = main(["perf", "--out", str(tmp_path / "results")])
+    assert code == 0
+    assert not os.path.exists(tmp_path / "BENCH_kernel.json")
+
+
+def test_perf_quick_never_overwrites_root_mirror(monkeypatch, tmp_path):
+    """--quick smoke payloads must not replace the committed
+    full-suite trajectory record at the project root."""
+    from repro.cli import main
+
+    _canned_suites(monkeypatch)
+    repo = tmp_path / "repo"
+    (repo / "benchmarks").mkdir(parents=True)
+    (repo / "pyproject.toml").write_text("")
+    committed = {"k": {"seconds": 1.0, "params": {"full": True}}}
+    write_bench_file(str(repo / "BENCH_kernel.json"), committed)
+    code = main(["perf", "--quick", "--out", str(repo / "benchmarks" / "results")])
+    assert code == 0
+    # the root record is untouched by the quick run
+    assert load_bench_file(str(repo / "BENCH_kernel.json")) == committed
+
+
+def test_perf_check_fails_when_nothing_was_comparable(monkeypatch, tmp_path):
+    """A gate that compared zero benches (typo'd prefix, renamed
+    benches) must fail loudly, not pass vacuously."""
+    from repro.cli import main
+
+    benches = _canned_suites(monkeypatch)
+    baseline = tmp_path / "BENCH_baseline.json"
+    _write_baseline(baseline, benches, scale=0.01)  # wildly regressed
+    code = main(
+        [
+            "perf", "--quick", "--check", "--no-root-mirror",
+            "--check-keys", "kernal.",  # typo: matches nothing
+            "--out", str(tmp_path / "results"),
+            "--baseline", str(baseline),
+        ]
+    )
+    assert code == 1
 
 
 def test_committed_baseline_loads_and_has_acceptance_entry():

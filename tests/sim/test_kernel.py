@@ -205,3 +205,115 @@ def test_nested_scheduling_from_callback():
     sim.call_in(1.0, outer)
     sim.run()
     assert seen == [("outer", 1.0), ("inner", 3.0)]
+
+
+# -- instant-end callbacks ----------------------------------------------------
+
+
+def test_instant_end_runs_after_full_same_timestamp_batch():
+    sim = Simulator()
+    order = []
+    sim.call_in(1.0, lambda: (order.append("a"), sim.at_instant_end(lambda: order.append(("flush", sim.now)))))
+    sim.call_in(1.0, lambda: order.append("b"))
+    sim.call_in(2.0, lambda: order.append("later"))
+    sim.run()
+    # the callback registered by "a" waits for "b" (same instant) but
+    # runs before the clock reaches t=2
+    assert order == ["a", "b", ("flush", 1.0), "later"]
+
+
+def test_instant_end_cascade_drains_before_clock_advances():
+    sim = Simulator()
+    order = []
+
+    def flush():
+        order.append(("flush", sim.now))
+        # flush work at the same instant: must run before t=2
+        sim.call_in(0.0, lambda: order.append(("cascade", sim.now)))
+
+    sim.call_in(1.0, lambda: sim.at_instant_end(flush))
+    sim.call_in(2.0, lambda: order.append(("later", sim.now)))
+    sim.run()
+    assert order == [("flush", 1.0), ("cascade", 1.0), ("later", 2.0)]
+
+
+def test_instant_end_callbacks_can_reregister():
+    sim = Simulator()
+    hits = []
+
+    def flush():
+        hits.append(sim.now)
+        if len(hits) < 3:
+            sim.at_instant_end(flush)  # runs again within this instant
+
+    sim.call_in(1.0, lambda: sim.at_instant_end(flush))
+    sim.run()
+    assert hits == [1.0, 1.0, 1.0]
+
+
+def test_instant_end_runs_once_per_registration():
+    sim = Simulator()
+    hits = []
+    sim.call_in(1.0, lambda: sim.at_instant_end(lambda: hits.append(sim.now)))
+    sim.call_in(2.0, lambda: None)
+    sim.run()
+    assert hits == [1.0]
+
+
+def test_instant_end_fires_with_run_until():
+    sim = Simulator()
+    hits = []
+    sim.call_in(5.0, lambda: sim.at_instant_end(lambda: hits.append(sim.now)))
+    sim.call_in(7.0, lambda: hits.append("late"))
+    sim.run(until=5.0)
+    # the admitted instant's end-of-instant work runs even though the
+    # next event lies beyond `until`
+    assert hits == [5.0]
+    assert sim.now == 5.0
+
+
+def test_instant_end_fires_in_run_until_complete():
+    sim = Simulator()
+    hits = []
+
+    def body(sim):
+        yield 1.0
+        sim.at_instant_end(lambda: hits.append(sim.now))
+        yield 1.0
+        return "done"
+
+    proc = sim.process(body(sim))
+    assert sim.run_until_complete(proc) == "done"
+    assert hits == [1.0]
+
+
+def test_instant_end_drains_when_awaited_process_finishes_mid_instant():
+    """A callback registered at the awaited process's final instant
+    still runs before run_until_complete returns — nothing may stay
+    armed-but-stranded (e.g. a network flush) after the run."""
+    sim = Simulator()
+    hits = []
+
+    def body(sim):
+        yield 1.0
+        sim.at_instant_end(lambda: hits.append(sim.now))
+        return "done"
+
+    proc = sim.process(body(sim))
+    assert sim.run_until_complete(proc) == "done"
+    assert hits == [1.0]
+    assert sim._instant_cbs == []
+
+
+def test_instant_end_fires_in_step():
+    sim = Simulator()
+    hits = []
+    sim.call_in(1.0, lambda: sim.at_instant_end(lambda: hits.append(sim.now)))
+    sim.call_in(1.0, lambda: hits.append("batch"))
+    sim.call_in(2.0, lambda: hits.append("later"))
+    sim.step()
+    assert hits == []  # instant not drained yet: "batch" still pending
+    sim.step()
+    assert hits == ["batch", 1.0]
+    sim.step()
+    assert hits == ["batch", 1.0, "later"]
