@@ -9,6 +9,10 @@ and anyone can re-run the identical experiment with
 
     repro run --spec custom_world.json
 
+The spec also picks probe stages by registry name (including the
+post-paper Upload / ConnChurn / CacheBust probes) and an adaptive
+epoch planner (``bisect``), so the whole probe pipeline is data too.
+
 Run:  python examples/custom_world.py
 """
 
@@ -17,6 +21,7 @@ import tempfile
 
 from repro.content.site import minimal_site
 from repro.core.config import MFCConfig
+from repro.core.epochs import PlannerSpec
 from repro.core.inference import infer_constraints
 from repro.net.tcp import mbps
 from repro.server.backends import BackendSpec
@@ -62,7 +67,12 @@ def build_spec() -> WorldSpec:
 
     # 2. the client side: 40% of the fleet shares one congested 40 Mbps
     #    transit link several hops from the target — the confound the
-    #    paper's 90th-percentile Large Object rule exists for
+    #    paper's 90th-percentile Large Object rule exists for.
+    #    The probe pipeline is data as well: alongside the paper's
+    #    Base/LargeObject we run the write path (Upload) and the
+    #    cache-defeating disk probe (CacheBust), ramped by the
+    #    adaptive bisect planner (fewer intrusive bursts than the
+    #    linear ramp).
     return WorldSpec(
         scenario=scenario,
         fleet=FleetSpec(
@@ -74,6 +84,8 @@ def build_spec() -> WorldSpec:
         bottleneck_capacity_bps=5e6,  # 40 Mbps shared, 500 Mbps at the server
         config=MFCConfig(threshold_s=0.100, max_crowd=40, min_clients=45),
         seed=9,
+        stages=("Base", "LargeObject", "Upload", "CacheBust"),
+        planner=PlannerSpec(name="bisect"),
         notes="custom world demo — everything above is plain data",
     )
 

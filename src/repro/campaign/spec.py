@@ -1,8 +1,8 @@
 """Declarative experiment campaigns.
 
 A *campaign* is a grid of independent MFC jobs — scenario × stage ×
-config-variant × seed — expanded into :class:`JobSpec` entries whose
-order and seeding are deterministic.  Each job carries everything a
+config-variant × planner × seed — expanded into :class:`JobSpec`
+entries whose order and seeding are deterministic.  Each job carries everything a
 worker process needs to rebuild its world from scratch, plus a
 *stable key*: a SHA-256 over a canonical encoding of the
 execution-relevant parameters.  The key is what makes campaigns
@@ -31,7 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import __version__
 from repro.core.config import MFCConfig
-from repro.core.stages import StageKind
+from repro.core.epochs import PlannerSpec
+from repro.core.stages import StageKind, stage_named
 from repro.server.presets import Scenario
 from repro.workload.fleet import FleetSpec
 from repro.workload.populations import PopulationSite
@@ -173,15 +174,16 @@ class CampaignSpec:
         cls,
         name: str,
         scenarios: Sequence[ScenarioLike],
-        stages: Sequence[StageKind],
+        stages: Sequence[Union[StageKind, str]],
         variants: Sequence[Tuple[str, Optional[MFCConfig]]] = (("default", None),),
         seeds: Sequence[int] = (0,),
         fleet_spec: Optional[FleetSpec] = None,
         per_site_seeding: bool = True,
         runner_kwargs: Optional[Dict] = None,
         time_limit_s: float = 1e7,
+        planners: Sequence[Tuple[str, Optional[PlannerSpec]]] = (("default", None),),
     ) -> "CampaignSpec":
-        """Expand seeds × variants × stages × scenarios into jobs.
+        """Expand seeds × variants × planners × stages × scenarios.
 
         Scenario entries may be :class:`PopulationSite` objects,
         ``(id, Scenario)`` pairs, or bare scenarios.  With
@@ -189,40 +191,106 @@ class CampaignSpec:
         ``base_seed * SEED_STRIDE + scenario_index`` — exactly the
         historical study seeding — otherwise the base seed is used
         unchanged for every scenario.
+
+        Stage entries may be legacy :class:`StageKind` members or
+        registry stage *names* ("Upload", "CacheBust", ...); *planners*
+        adds an epoch-strategy axis of ``(label, PlannerSpec or
+        None)`` pairs.  A ``StageKind`` entry under the default planner
+        expands to the historical scenario-job payload — its stable key
+        is byte-identical to every store written before stages were
+        pluggable — while named stages and non-default planners expand
+        to declarative world jobs.
         """
         rows = _normalize_scenarios(scenarios)
+        # runner_kwargs carries extra world knobs (use_naive_scheduling,
+        # monitor_interval_s, ...); axes the grid manages itself must
+        # come through their own parameters on every cell type
+        reserved = sorted(
+            set(runner_kwargs or {})
+            & {"scenario", "fleet", "fleet_spec", "config", "seed",
+               "stage_kinds", "stages", "planner"}
+        )
+        if reserved:
+            raise ValueError(
+                f"runner_kwargs may not carry grid axes: {reserved}; use "
+                "the dedicated grid parameters instead"
+            )
         jobs: List[JobSpec] = []
         for base_seed in seeds:
             for variant_name, config in variants:
-                for stage in stages:
-                    for index, (sid, scenario, extra) in enumerate(rows):
-                        jobs.append(
-                            JobSpec(
-                                job_id=(
-                                    f"{sid}|{stage.value}|{variant_name}"
-                                    f"|seed{base_seed}"
-                                ),
-                                scenario=scenario,
-                                stage_kinds=(stage,),
-                                config=config,
-                                fleet_spec=fleet_spec,
-                                seed=(
-                                    derive_site_seed(base_seed, index)
-                                    if per_site_seeding
-                                    else base_seed
-                                ),
-                                runner_kwargs=dict(runner_kwargs or {}),
-                                time_limit_s=time_limit_s,
-                                meta={
-                                    "scenario_id": sid,
-                                    "stage": stage.value,
-                                    "variant": variant_name,
-                                    "base_seed": base_seed,
-                                    "index": index,
-                                    **extra,
-                                },
-                            )
+                for planner_label, planner in planners:
+                    # an explicit default-linear entry IS the default:
+                    # fold it so the cell shares the default cell's key
+                    # (and, for StageKind stages, its legacy payload)
+                    if planner is not None and planner == PlannerSpec():
+                        planner = None
+                    for stage in stages:
+                        legacy = isinstance(stage, StageKind) and planner is None
+                        stage_name = (
+                            stage.value
+                            if isinstance(stage, StageKind)
+                            else stage_named(stage).name
                         )
+                        for index, (sid, scenario, extra) in enumerate(rows):
+                            seed = (
+                                derive_site_seed(base_seed, index)
+                                if per_site_seeding
+                                else base_seed
+                            )
+                            planner_tag = (
+                                "" if planner is None else f"|{planner_label}"
+                            )
+                            job_id = (
+                                f"{sid}|{stage_name}|{variant_name}"
+                                f"|seed{base_seed}{planner_tag}"
+                            )
+                            meta = {
+                                "scenario_id": sid,
+                                "stage": stage_name,
+                                "variant": variant_name,
+                                "planner": planner_label,
+                                "base_seed": base_seed,
+                                "index": index,
+                                **extra,
+                            }
+                            if legacy:
+                                jobs.append(
+                                    JobSpec(
+                                        job_id=job_id,
+                                        scenario=scenario,
+                                        stage_kinds=(stage,),
+                                        config=config,
+                                        fleet_spec=fleet_spec,
+                                        seed=seed,
+                                        runner_kwargs=dict(runner_kwargs or {}),
+                                        time_limit_s=time_limit_s,
+                                        meta=meta,
+                                    )
+                                )
+                            else:
+                                world = WorldSpec(
+                                    scenario=scenario,
+                                    fleet=(
+                                        fleet_spec
+                                        if fleet_spec is not None
+                                        else FleetSpec()
+                                    ),
+                                    config=(
+                                        config if config is not None else MFCConfig()
+                                    ),
+                                    seed=seed,
+                                    stages=(stage_name,),
+                                    planner=planner,
+                                    **dict(runner_kwargs or {}),
+                                )
+                                jobs.append(
+                                    JobSpec.from_world(
+                                        job_id,
+                                        world,
+                                        time_limit_s=time_limit_s,
+                                        meta=meta,
+                                    )
+                                )
         return cls(name=name, jobs=jobs)
 
     @classmethod

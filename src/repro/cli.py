@@ -2,9 +2,12 @@
 
     python -m repro list
     python -m repro list --json
+    python -m repro stages
     python -m repro run qtnp --threshold-ms 100 --max-crowd 55 --seed 1
     python -m repro run univ3 --mr 2 --threshold-ms 250 --background 20.3
     python -m repro run univ2 --mr 2 --threshold-ms 250 --stage Base
+    python -m repro run qtnp --stages Upload --stages CacheBust
+    python -m repro run qtnp --planner bisect --max-crowd 150
     python -m repro run qtnp --jobs 3 --cache /tmp/qtnp.jsonl
     python -m repro spec dump qtnp --max-crowd 55 --seed 1 > world.json
     python -m repro run --spec world.json
@@ -13,7 +16,9 @@
 
 ``run`` prints the experiment summary and the inferred constraint
 report, and exits non-zero if the experiment aborted (e.g. too few
-live clients).  ``spec dump`` exports a preset as a declarative
+live clients).  ``stages`` lists every registered probe stage and
+epoch-planner strategy; ``run --stages``/``--planner`` select them by
+name.  ``spec dump`` exports a preset as a declarative
 :class:`~repro.worlds.spec.WorldSpec` JSON document, which ``run
 --spec`` — after any hand edits — turns back into a runnable world.
 ``campaign`` measures a whole generated population (the paper's §5
@@ -31,8 +36,9 @@ from typing import List, Optional
 from repro.campaign.executor import run_campaign
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.core.config import MFCConfig
+from repro.core.epochs import PLANNERS, PlannerSpec
 from repro.core.inference import infer_constraints
-from repro.core.stages import StageKind
+from repro.core.stages import STAGES, StageKind
 from repro.core.variants import mfc_mr_config, staggered_config
 from repro.workload.fleet import FleetSpec
 from repro.worlds import FLEET_PRESETS, SCENARIO_PRESETS, SYNTHETIC_MODELS, WorldSpec
@@ -56,7 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     list_p = sub.add_parser("list", help="list available target scenarios")
     list_p.add_argument("--json", action="store_true",
                         help="machine-readable inventory: scenarios, fleet "
-                             "presets, stage kinds, synthetic models")
+                             "presets, probe stages, planners, synthetic "
+                             "models")
+
+    sub.add_parser(
+        "stages",
+        help="list registered probe stages and epoch-planner strategies",
+    )
 
     run = sub.add_parser("run", help="run an MFC experiment against a scenario")
     run.add_argument("scenario", nargs="?", choices=sorted(SCENARIOS),
@@ -164,6 +176,8 @@ _WORLD_FLAG_DEFAULTS = {
     "mr": 1,
     "stagger_ms": None,
     "stage": None,
+    "stages": None,
+    "planner": None,
     "background": None,
     "seed": 0,
 }
@@ -190,7 +204,17 @@ def _add_world_arguments(parser) -> None:
                         help="staggered MFC: one arrival per this many ms")
     parser.add_argument("--stage", action="append", default=d["stage"],
                         choices=sorted(STAGE_NAMES),
-                        help="restrict to a stage (repeatable; default: all)")
+                        help="restrict to a paper stage (repeatable; "
+                             "default: all)")
+    parser.add_argument("--stages", action="append", default=d["stages"],
+                        choices=sorted(STAGES), metavar="NAME",
+                        help="registry-named probe stage to run, in order "
+                             "(repeatable; see `repro stages`); cannot be "
+                             "combined with --stage")
+    parser.add_argument("--planner", default=d["planner"],
+                        choices=sorted(PLANNERS),
+                        help="epoch-progression strategy (default: the "
+                             "paper's linear ramp; see `repro stages`)")
     parser.add_argument("--background", type=float, default=d["background"],
                         help="override background traffic (requests/second)")
     parser.add_argument("--seed", type=int, default=d["seed"])
@@ -246,6 +270,30 @@ def cmd_list(args) -> int:
     return 0
 
 
+def cmd_stages(args) -> int:
+    """List registered probe stages and epoch-planner strategies."""
+    print("Probe stages (run with `repro run <scenario> --stages NAME`):")
+    for name, stage in STAGES.items():
+        recipe = stage.method.value
+        if stage.body_bytes:
+            recipe += f"+{stage.body_bytes / 1024:.0f}KB body"
+        if stage.connections > 1:
+            recipe += f" x{stage.connections} conns"
+        print(
+            f"  {name:<12} {recipe:<18} q={stage.degradation_quantile:<4} "
+            f"-> {stage.resource}"
+        )
+        print(f"  {'':<12} {stage.description}")
+    print()
+    print("Epoch planners (run with `repro run <scenario> --planner NAME`):")
+    for name in sorted(PLANNERS):
+        cls = PLANNERS[name]
+        doc = (cls.__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        print(f"  {name:<12} {summary}")
+    return 0
+
+
 def _inventory() -> dict:
     """The machine-readable preset inventory behind ``list --json``."""
     from repro.core.profiler import profile_site
@@ -262,13 +310,26 @@ def _inventory() -> dict:
             "access_mbps": scenario.server_access_bps * 8 / 1e6,
             "background_rps": scenario.background_rps,
             "stages": [
-                s.kind.value for s in standard_stages(profile_site(scenario.site))
+                s.name for s in standard_stages(profile_site(scenario.site))
             ],
             "notes": scenario.notes,
         }
     return {
         "scenarios": scenarios,
         "stage_kinds": [kind.value for kind in StageKind],
+        "probe_stages": {
+            name: {
+                "method": stage.method.value,
+                "degradation_quantile": stage.degradation_quantile,
+                "resource": stage.resource,
+                "assignment": stage.assignment,
+                "body_bytes": stage.body_bytes,
+                "connections": stage.connections,
+                "description": stage.description,
+            }
+            for name, stage in STAGES.items()
+        },
+        "planners": sorted(PLANNERS),
         "fleet_presets": {
             name: world_codec.encode(factory())
             for name, factory in sorted(FLEET_PRESETS.items())
@@ -287,6 +348,8 @@ def _world_from_args(args, scenario) -> WorldSpec:
         stage_kinds=(
             tuple(STAGE_NAMES[s] for s in args.stage) if args.stage else None
         ),
+        stages=tuple(args.stages) if args.stages else None,
+        planner=PlannerSpec(name=args.planner) if args.planner else None,
         background_rps=args.background,
     )
 
@@ -302,11 +365,23 @@ def _report_result(result, quiet: bool) -> int:
     return 1 if result.aborted else 0
 
 
+def _check_stage_flags(args, prog: str) -> Optional[int]:
+    """Shared guard: --stage (paper kinds) xor --stages (registry names)."""
+    if args.stage and args.stages:
+        print(f"{prog}: give --stage (paper kinds) or --stages "
+              "(registry names), not both", file=sys.stderr)
+        return 2
+    return None
+
+
 def cmd_run(args) -> int:
     if (args.scenario is None) == (args.spec is None):
         print("repro run: give exactly one of a scenario or --spec",
               file=sys.stderr)
         return 2
+    bad = _check_stage_flags(args, "repro run")
+    if bad is not None:
+        return bad
     # --jobs (any value, even 1) selects the per-stage campaign path,
     # so sweeping N never changes experiment semantics; the shared
     # single-world path has no job grid, so --cache alone is an error
@@ -353,6 +428,9 @@ def cmd_run(args) -> int:
 
 def cmd_spec(args) -> int:
     if args.spec_command == "dump":
+        bad = _check_stage_flags(args, "repro spec dump")
+        if bad is not None:
+            return bad
         world = _world_from_args(args, SCENARIOS[args.scenario]())
         text = world.to_json()
         if args.out is not None:
@@ -375,13 +453,25 @@ def _run_stages_campaign(args, world: WorldSpec) -> int:
     """
     import dataclasses
 
-    kinds = world.stage_kinds if world.stage_kinds else tuple(StageKind)
+    if world.stages is not None:
+        # registry-named selection: per-stage worlds by name
+        names = list(world.stages)
+        worlds = [
+            dataclasses.replace(world, stages=(name,)) for name in names
+        ]
+    else:
+        # legacy kind selection, kept byte-identical so existing
+        # ``--jobs --cache`` stores keep serving their job keys
+        kinds = world.stage_kinds if world.stage_kinds else tuple(StageKind)
+        names = [kind.value for kind in kinds]
+        worlds = [
+            dataclasses.replace(world, stage_kinds=(kind,)) for kind in kinds
+        ]
     job_specs = [
         JobSpec.from_world(
-            f"{args.scenario}|{kind.value}|seed{world.seed}",
-            dataclasses.replace(world, stage_kinds=(kind,)),
+            f"{args.scenario}|{name}|seed{world.seed}", stage_world
         )
-        for kind in kinds
+        for name, stage_world in zip(names, worlds)
     ]
     spec = CampaignSpec(name=f"run-{args.scenario}", jobs=job_specs)
     outcomes = run_campaign(
@@ -392,23 +482,23 @@ def _run_stages_campaign(args, world: WorldSpec) -> int:
     from repro.core.records import MFCResult
 
     merged = MFCResult(target_name=world.scenario.name)
-    for kind, outcome in zip(kinds, outcomes):
+    for name, outcome in zip(names, outcomes):
         result = outcome.result
         if result.aborted:
             merged.aborted = True
             merged.abort_reason = result.abort_reason
-        elif kind.value in result.stages:
-            merged.stages[kind.value] = result.stage(kind.value)
+        elif name in result.stages:
+            merged.stages[name] = result.stage(name)
             merged.live_clients = max(merged.live_clients, result.live_clients)
             merged.total_requests += result.total_requests
     if args.quiet:
-        for kind, outcome in zip(kinds, outcomes):
+        for name, outcome in zip(names, outcomes):
             if outcome.result.aborted:
-                print(f"{kind.value}\tABORTED: {outcome.result.abort_reason}")
-            elif kind.value in outcome.result.stages:
-                print(f"{kind.value}\t{merged.stage(kind.value).describe()}")
+                print(f"{name}\tABORTED: {outcome.result.abort_reason}")
+            elif name in outcome.result.stages:
+                print(f"{name}\t{merged.stage(name).describe()}")
             else:
-                print(f"{kind.value}\tskipped (no qualifying object)")
+                print(f"{name}\tskipped (no qualifying object)")
     else:
         print(merged.summary())
         print()
@@ -626,6 +716,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
+    if args.command == "stages":
+        return cmd_stages(args)
     if args.command == "spec":
         return cmd_spec(args)
     if args.command == "campaign":

@@ -30,7 +30,15 @@ from repro.core.records import (
     StageOutcome,
     StageResult,
 )
-from repro.core.stages import StageKind, StagePlan, standard_stages
+from repro.core.epochs import PLANNERS, PlannerSpec
+from repro.core.stages import (
+    STAGES,
+    ProbeStage,
+    StageKind,
+    StagePlan,
+    stages_named,
+    standard_stages,
+)
 from repro.core.scheduler import SyncScheduler
 from repro.core.client import MFCClient
 from repro.core.coordinator import Coordinator
@@ -49,6 +57,10 @@ __all__ = [
     "MFCResult",
     "MFCRunner",
     "Measurer",
+    "PLANNERS",
+    "PlannerSpec",
+    "ProbeStage",
+    "STAGES",
     "StageKind",
     "StageOutcome",
     "StagePlan",
@@ -57,5 +69,6 @@ __all__ = [
     "infer_constraints",
     "mfc_mr_config",
     "staggered_config",
+    "stages_named",
     "standard_stages",
 ]

@@ -38,6 +38,8 @@ class RequestCommand:
     path: str
     method: Method
     n_parallel: int = 1             # MFC-mr parallel connections
+    body_bytes: float = 0.0         # POST body (the Upload stage)
+    connections: int = 1            # sequential no-keepalive churn
 
 
 class MFCClient:
@@ -85,10 +87,23 @@ class MFCClient:
         self.measured_target_rtt = rtt
         return rtt
 
-    def measure_base(self, paths, method: Method) -> Generator:
-        """Process body: sequentially measure base response times."""
+    def measure_base(
+        self,
+        paths,
+        method: Method,
+        body_bytes: float = 0.0,
+        connections: int = 1,
+    ) -> Generator:
+        """Process body: sequentially measure base response times.
+
+        The measurement uses the stage's full request recipe (body,
+        churn connections) so the normalization subtracts like from
+        like.
+        """
         for path in paths:
-            status, _nbytes, elapsed = yield from self._issue_once(path, method)
+            status, _nbytes, elapsed = yield from self._issue_once(
+                path, method, body_bytes=body_bytes, connections=connections
+            )
             # a timed-out base measurement still yields a (pessimal)
             # base value; the paper's normalization needs *something*
             self.base_times[path] = elapsed
@@ -120,7 +135,11 @@ class MFCClient:
         self, command: RequestCommand, rtt: Optional[float] = None
     ) -> Generator:
         status, nbytes, elapsed = yield from self._issue_once(
-            command.path, command.method, rtt
+            command.path,
+            command.method,
+            rtt,
+            body_bytes=command.body_bytes,
+            connections=command.connections,
         )
         base = self.base_times.get(command.path, 0.0)
         report = ClientReport(
@@ -140,30 +159,73 @@ class MFCClient:
     # -- the request primitive ------------------------------------------------------
 
     def _issue_once(
-        self, path: str, method: Method, rtt: Optional[float] = None
+        self,
+        path: str,
+        method: Method,
+        rtt: Optional[float] = None,
+        body_bytes: float = 0.0,
+        connections: int = 1,
     ) -> Generator:
-        """Issue one HTTP request with the 10 s kill timer.
+        """Issue one commanded request with the 10 s kill timer.
 
         Returns ``(status, numbytes, elapsed_s)``.  Elapsed time runs
         from command receipt (the paper's client starts its TCP
         handshake immediately on command).  Commanded crowd launches
         pass a presampled *rtt*; sequential callers (the base
-        measurements) leave it None and sample here.
+        measurements) leave it None and sample here.  *connections* > 1
+        (the ConnChurn stage) chains that many fresh handshake+request
+        cycles — no keepalive — under the one kill timer, reporting
+        total bytes and the first failing status.
         """
         issued_at = self.sim.now
         self.requests_issued += 1
         if rtt is None:
             rtt = self.node.latency_to_target.sample_rtt()
         request = HTTPRequest(
-            method=method, path=path, client_id=self.client_id, is_mfc=True
+            method=method,
+            path=path,
+            client_id=self.client_id,
+            is_mfc=True,
+            body_bytes=body_bytes,
         )
 
         def request_flow():
-            # SYN + SYN-ACK + request-on-ACK: first byte reaches the
-            # server 1.5 RTT after the client starts the handshake
-            yield 1.5 * rtt
-            response = yield self.service.submit(request, self.node, rtt)
-            return response
+            status = None
+            # accumulated from the responses (not seeded with 0.0: a
+            # single-connection transfer must report the response's
+            # byte count verbatim, int-ness included — it lands in
+            # ClientReport.numbytes, which determinism fingerprints
+            # compare byte-for-byte through JSON)
+            nbytes = None
+            for index in range(connections):
+                if index == 0:
+                    conn_rtt, conn_request = rtt, request
+                else:
+                    # further no-keepalive connections: fresh handshake,
+                    # fresh request, freshly sampled RTT
+                    self.requests_issued += 1
+                    conn_rtt = self.node.latency_to_target.sample_rtt()
+                    conn_request = HTTPRequest(
+                        method=method,
+                        path=path,
+                        client_id=self.client_id,
+                        is_mfc=True,
+                        body_bytes=body_bytes,
+                    )
+                # SYN + SYN-ACK + request-on-ACK: first byte reaches the
+                # server 1.5 RTT after the client starts the handshake
+                yield 1.5 * conn_rtt
+                response = yield self.service.submit(
+                    conn_request, self.node, conn_rtt
+                )
+                nbytes = (
+                    response.bytes_transferred
+                    if nbytes is None
+                    else nbytes + response.bytes_transferred
+                )
+                if status is None or status is Status.OK:
+                    status = response.status
+            return status, nbytes
 
         proc = self.sim.process(request_flow())
         killer = self.sim.timeout(self.config.request_timeout_s)
@@ -173,11 +235,7 @@ class MFCClient:
             # treat any transport failure like a timeout/ERR
             return Status.CLIENT_TIMEOUT, 0.0, self.config.request_timeout_s
         if proc.processed and proc.ok:
-            response = proc.value
-            return (
-                response.status,
-                response.bytes_transferred,
-                self.sim.now - issued_at,
-            )
+            status, nbytes = proc.value
+            return status, nbytes, self.sim.now - issued_at
         # kill the request: record ERR at exactly the timeout value
         return Status.CLIENT_TIMEOUT, 0.0, self.config.request_timeout_s

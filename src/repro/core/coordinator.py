@@ -23,7 +23,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.client import MFCClient, RequestCommand
 from repro.core.config import MFCConfig
-from repro.core.epochs import EpochPlanner, degradation_aggregate_sorted
+from repro.core.epochs import PlannerSpec, degradation_aggregate_sorted
 from repro.core.records import (
     ClientReport,
     EpochLabel,
@@ -51,6 +51,7 @@ class Coordinator:
         target_name: str = "target",
         rng: Optional[random.Random] = None,
         use_naive_scheduling: bool = False,
+        planner: Optional[PlannerSpec] = None,
     ) -> None:
         config.validate()
         self.sim = sim
@@ -58,6 +59,11 @@ class Coordinator:
         self.control = control
         self.config = config
         self.target_name = target_name
+        #: epoch-progression strategy (default: the paper's linear ramp)
+        self.planner = planner if planner is not None else PlannerSpec()
+        # probe-instantiate so bad parameter *values* (not just names)
+        # surface at world-build time, not epochs into the run
+        self.planner.make(config)
         self._rng = rng if rng is not None else random.Random(0)
         #: ablation knob: dispatch all commands immediately instead of
         #: using the synchronization arithmetic
@@ -122,9 +128,11 @@ class Coordinator:
         )
 
         estimates = yield from self._delay_computation(stage, live)
-        stage_result.total_requests += len(live)  # base measurements
+        # base measurements: one command per client, each issuing the
+        # stage's full connection count against the server
+        stage_result.total_requests += len(live) * stage.connections
 
-        planner = EpochPlanner(
+        planner = self.planner.make(
             self.config,
             max_feasible_crowd=len(live) * self.config.requests_per_client,
         )
@@ -135,7 +143,9 @@ class Coordinator:
             crowd, label = nxt
             epoch = yield from self._run_epoch(stage, crowd, label, live, estimates)
             stage_result.epochs.append(epoch)
-            stage_result.total_requests += crowd
+            # crowd counts synchronized commands; churn stages issue
+            # `connections` sequential server requests per command
+            stage_result.total_requests += crowd * stage.connections
             planner.record(epoch)
 
         stage_result.outcome = planner.outcome or StageOutcome.NO_STOP
@@ -164,7 +174,12 @@ class Coordinator:
         for index, client in enumerate(live):
             target_rtt = yield from client.measure_target_rtt()
             path = stage.object_for(index)
-            yield from client.measure_base([path], stage.method)
+            yield from client.measure_base(
+                [path],
+                stage.method,
+                body_bytes=stage.body_bytes,
+                connections=stage.connections,
+            )
             estimates[client.client_id] = DelayEstimates(
                 client_id=client.client_id,
                 coord_rtt_s=coord_rtts.get(
@@ -219,6 +234,8 @@ class Coordinator:
                 path=stage.object_for(index),
                 method=stage.method,
                 n_parallel=m,
+                body_bytes=stage.body_bytes,
+                connections=stage.connections,
             )
             self.sim.call_at(
                 plan.dispatch_time,

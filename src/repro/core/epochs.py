@@ -7,16 +7,36 @@ inside — so the stopping logic is unit-testable in isolation:
    response times exceeds θ at crowd size N (and N is statistically
    significant, i.e. ≥ 15), run three confirmation epochs at N−1, N
    and N+1; the first of them to exceed θ confirms the constraint.
-2. **Progress**: otherwise grow the crowd by the step.
+2. **Progress**: otherwise grow the crowd.
 3. **Terminate**: a confirmed check stops the stage with crowd N; a
    crowd exceeding the cap (or the client supply) ends it as NoStop.
+
+*How* the crowd grows between epochs is a strategy.  The shared state
+machine above lives in :class:`EpochPlanner`; the progression hooks
+(:meth:`EpochPlanner._on_clean` and friends) are overridable, and the
+:data:`PLANNERS` registry names the shipped strategies:
+
+- ``linear`` (:class:`LinearRamp`) — the paper's fixed-step ramp, the
+  seed-identical default;
+- ``geometric`` (:class:`GeometricRamp`) — multiplicative growth for
+  wide sweeps with a distant knee;
+- ``bisect`` (:class:`BisectKnee`) — bracket the degradation knee
+  geometrically, then binary-search it, confirming with the usual
+  check phase.  Reaches the stopping crowd in O(log knee) epochs
+  instead of O(knee/step) — far fewer intrusive bursts against the
+  target, the paper's §7 concern.
+
+A :class:`PlannerSpec` names a registered strategy plus its keyword
+parameters as plain data, which is how ``WorldSpec.planner`` and
+``repro run --planner`` serialize the choice.
 """
 
 from __future__ import annotations
 
 import enum
 import math
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.config import MFCConfig
 from repro.core.records import EpochLabel, EpochResult, StageOutcome
@@ -87,7 +107,15 @@ class _PlannerState(enum.Enum):
 
 
 class EpochPlanner:
-    """Drives one stage's epoch sequence."""
+    """Drives one stage's epoch sequence (linear-ramp strategy base).
+
+    The class is concrete — instantiating it gives the paper's
+    fixed-step progression — and doubles as the strategy base:
+    subclasses override :meth:`_on_clean` / :meth:`_on_degraded` /
+    :meth:`_resume_after_failed_check` to change how the crowd moves,
+    while the check-phase machinery, the significance minimum and the
+    cap/NoStop handling stay shared.
+    """
 
     #: check-phase crowd offsets relative to the triggering crowd N
     CHECK_SEQUENCE = (
@@ -157,24 +185,45 @@ class EpochPlanner:
             if not self._check_queue:
                 # check failed: resume progression past the trigger
                 self._state = _PlannerState.NORMAL
-                self._advance_from(self._trigger_crowd)
+                self._resume_after_failed_check(self._trigger_crowd)
             return
 
         # NORMAL epoch
         significant = epoch.crowd_size >= self.config.min_significant_crowd
         if epoch.degraded and significant:
-            if self.config.check_phase:
-                self._state = _PlannerState.CHECKING
-                self._trigger_crowd = epoch.crowd_size
-                self._check_queue = list(self.CHECK_SEQUENCE)
-            else:
-                self._finish(
-                    StageOutcome.STOPPED,
-                    stopping=epoch.crowd_size,
-                    reason="degradation observed (check phase disabled)",
-                )
+            self._on_degraded(epoch.crowd_size)
             return
-        self._advance_from(epoch.crowd_size)
+        self._on_clean(epoch.crowd_size)
+
+    # -- strategy hooks ---------------------------------------------------------
+
+    def _on_clean(self, crowd: int) -> None:
+        """A normal epoch came back clean (or insignificantly degraded)."""
+        self._advance_from(crowd)
+
+    def _on_degraded(self, crowd: int) -> None:
+        """A statistically significant normal epoch exceeded θ."""
+        self._trigger_check(crowd)
+
+    def _resume_after_failed_check(self, trigger: int) -> None:
+        """All three confirmation epochs at *trigger* came back clean."""
+        self._advance_from(trigger)
+
+    # -- shared machinery -------------------------------------------------------
+
+    def _trigger_check(self, crowd: int) -> None:
+        """Enter the N−1/N/N+1 check phase at *crowd* (or stop outright
+        when the check phase is disabled)."""
+        if self.config.check_phase:
+            self._state = _PlannerState.CHECKING
+            self._trigger_crowd = crowd
+            self._check_queue = list(self.CHECK_SEQUENCE)
+        else:
+            self._finish(
+                StageOutcome.STOPPED,
+                stopping=crowd,
+                reason="degradation observed (check phase disabled)",
+            )
 
     def _advance_from(self, crowd: int) -> None:
         nxt = crowd + self.config.crowd_step
@@ -192,3 +241,209 @@ class EpochPlanner:
         self.outcome = outcome
         self.stopping_crowd_size = stopping
         self.reason = reason
+
+
+# -- strategy registry ---------------------------------------------------------
+
+#: registered planner strategies, by name
+PLANNERS: Dict[str, Type[EpochPlanner]] = {}
+
+
+def register_planner(name: str):
+    """Class decorator: register a planner strategy under *name*."""
+
+    def _register(cls: Type[EpochPlanner]) -> Type[EpochPlanner]:
+        if name in PLANNERS:
+            raise ValueError(f"planner {name!r} already registered")
+        PLANNERS[name] = cls
+        return cls
+
+    return _register
+
+
+@register_planner("linear")
+class LinearRamp(EpochPlanner):
+    """The paper's fixed-step ramp: grow by ``crowd_step`` each epoch."""
+
+
+def _geometric_next(crowd: int, factor: float, cap: int) -> Optional[int]:
+    """The clamped multiplicative step shared by the geometric planners.
+
+    Clamping to *cap* means the cap itself is always probed before a
+    NoStop verdict — unlike linear's at-most-(step−1) untested gap, an
+    unclamped geometric step would skip (factor−1)·cap crowds.  None
+    when *crowd* already reached the cap (progression is exhausted).
+    """
+    if crowd >= cap:
+        return None
+    return min(max(int(math.ceil(crowd * factor)), crowd + 1), cap)
+
+
+@register_planner("geometric")
+class GeometricRamp(EpochPlanner):
+    """Multiplicative ramp: each clean epoch multiplies the crowd.
+
+    Covers a wide crowd range in O(log max_crowd) epochs; the stopping
+    size it reports is coarser than linear's (the knee is bracketed to
+    a factor, not a step), which :class:`BisectKnee` refines.
+    """
+
+    def __init__(
+        self,
+        config: MFCConfig,
+        max_feasible_crowd: Optional[int] = None,
+        factor: float = 2.0,
+    ) -> None:
+        if factor <= 1.0:
+            raise ValueError(f"geometric factor must be > 1, got {factor}")
+        super().__init__(config, max_feasible_crowd)
+        self.factor = factor
+
+    def _advance_from(self, crowd: int) -> None:
+        nxt = _geometric_next(crowd, self.factor, self.max_feasible_crowd)
+        if nxt is None:
+            self._exhausted = True
+            return
+        self._next_crowd = nxt
+
+
+@register_planner("bisect")
+class BisectKnee(EpochPlanner):
+    """Adaptive planner: bracket the knee, then binary-search it.
+
+    Phase one grows the crowd geometrically until an epoch degrades
+    (upper bracket) or the cap is reached clean (NoStop).  Phase two
+    bisects the (clean, degraded) bracket down to ``crowd_step``
+    resolution, then hands the surviving knee to the shared
+    N−1/N/N+1 check phase.  A failed check marks the knee clean (a
+    transient, exactly what the check phase exists to catch) and the
+    planner re-opens the bracket upward from there.
+
+    Against a knee at crowd K with step s this needs
+    ~log2(K/initial) + log2(K/s) epochs where the linear ramp needs
+    K/s — an order of magnitude fewer probe bursts against production
+    targets (§7's intrusiveness concern; the ``world.bisect_ramp``
+    bench measures the saving).
+    """
+
+    def __init__(
+        self,
+        config: MFCConfig,
+        max_feasible_crowd: Optional[int] = None,
+        growth_factor: float = 2.0,
+    ) -> None:
+        if growth_factor <= 1.0:
+            raise ValueError(
+                f"bisect growth_factor must be > 1, got {growth_factor}"
+            )
+        super().__init__(config, max_feasible_crowd)
+        self.growth_factor = growth_factor
+        #: largest crowd observed clean (0 until one is)
+        self._lo = 0
+        #: smallest significantly degraded crowd; None while unbracketed
+        self._hi: Optional[int] = None
+
+    # -- progression ------------------------------------------------------------
+
+    def _grow_from(self, crowd: int) -> None:
+        """Unbracketed growth via the shared clamped geometric step."""
+        nxt = _geometric_next(crowd, self.growth_factor, self.max_feasible_crowd)
+        if nxt is None:
+            self._exhausted = True
+            return
+        self._next_crowd = nxt
+
+    def _bisect_or_check(self) -> None:
+        """Narrow the (lo, hi] bracket or confirm the knee at hi."""
+        assert self._hi is not None
+        if self._hi - self._lo <= self.config.crowd_step:
+            self._trigger_check(self._hi)
+            return
+        mid = (self._lo + self._hi) // 2
+        self._next_crowd = max(self._lo + 1, min(self._hi - 1, mid))
+
+    def _on_clean(self, crowd: int) -> None:
+        self._lo = max(self._lo, crowd)
+        if self._hi is None:
+            self._grow_from(crowd)
+        else:
+            self._bisect_or_check()
+
+    def _on_degraded(self, crowd: int) -> None:
+        if self._hi is None or crowd < self._hi:
+            self._hi = crowd
+            self._bisect_or_check()
+            return
+        # No new information: the epoch ran at (or above) the bracket
+        # top, typically because the coordinator rounded the requested
+        # mid-crowd up to a requests-per-client multiple.  Every finer
+        # probe would round the same way, so the bracket cannot narrow
+        # further — confirm the knee instead of re-requesting the same
+        # mid forever.
+        self._trigger_check(self._hi)
+
+    def _resume_after_failed_check(self, trigger: int) -> None:
+        # the knee was a false alarm: count it clean, re-open upward
+        self._lo = max(self._lo, trigger)
+        self._hi = None
+        self._grow_from(trigger)
+
+
+# -- serializable strategy choice ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlannerSpec:
+    """A registered planner strategy plus its parameters, as data.
+
+    This is what a :class:`~repro.worlds.spec.WorldSpec` (and thus a
+    JSON world document, a campaign job, ``repro run --planner``)
+    carries; ``make()`` instantiates the strategy for one stage run.
+    """
+
+    name: str = "linear"
+    #: keyword parameters of the strategy constructor
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check the strategy name and parameter names.
+
+        Runs at spec-validation time (``WorldSpec.validate``,
+        ``Coordinator.__init__``) so a typo in a hand-edited world
+        document fails loudly up front instead of crashing with a raw
+        ``TypeError`` mid-simulation.
+        """
+        if self.name not in PLANNERS:
+            raise ValueError(
+                f"unknown planner {self.name!r}; registered: {sorted(PLANNERS)}"
+            )
+        import inspect
+
+        parameters = inspect.signature(PLANNERS[self.name].__init__).parameters
+        if any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        ):
+            return
+        accepted = [
+            p for p in parameters if p not in ("self", "config", "max_feasible_crowd")
+        ]
+        unknown = sorted(set(self.params) - set(accepted))
+        if unknown:
+            raise ValueError(
+                f"planner {self.name!r} does not accept parameter(s) "
+                f"{unknown}; accepted: {sorted(accepted)}"
+            )
+
+    def make(
+        self, config: MFCConfig, max_feasible_crowd: Optional[int] = None
+    ) -> EpochPlanner:
+        """Instantiate the named strategy for one stage."""
+        self.validate()
+        try:
+            return PLANNERS[self.name](config, max_feasible_crowd, **self.params)
+        except TypeError as exc:
+            # e.g. a non-numeric value in a hand-edited document; keep
+            # the spec-error contract (callers catch ValueError)
+            raise ValueError(
+                f"planner {self.name!r}: invalid parameters {self.params}: {exc}"
+            ) from exc

@@ -12,6 +12,11 @@ kind the cooperating-site operators found valuable:
 - every stage stops at about the same crowd → a serialization or
   software-configuration artifact rather than any single hardware
   resource (the Univ-2 signature).
+
+The stage→sub-system mapping comes from the probe-stage registry:
+every registered :class:`~repro.core.stages.ProbeStage` declares the
+resource it targets, so a new stage produces constraint verdicts
+without touching this module.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.records import MFCResult, StageOutcome, StageResult
-from repro.core.stages import StageKind
+from repro.core.stages import STAGES, StageKind
 
 
 class Provisioning(enum.Enum):
@@ -32,12 +37,20 @@ class Provisioning(enum.Enum):
     UNKNOWN = "unknown"              # stage skipped/aborted
 
 
-#: which stage probes which sub-system (§2.2.2)
-SUBSYSTEM_BY_STAGE = {
-    StageKind.BASE.value: "http request handling",
-    StageKind.SMALL_QUERY.value: "back-end data processing",
-    StageKind.LARGE_OBJECT.value: "network access bandwidth",
-}
+def subsystem_for(stage_name: str) -> str:
+    """The sub-system a stage probes (registry-declared; §2.2.2 for
+    the paper's three).  Unregistered names report as themselves."""
+    stage = STAGES.get(stage_name)
+    return stage.resource if stage is not None else stage_name
+
+
+def __getattr__(name: str):
+    # SUBSYSTEM_BY_STAGE: the whole stage→sub-system table, kept as a
+    # module attribute for historical callers but computed on access so
+    # stages registered after this module was imported still appear
+    if name == "SUBSYSTEM_BY_STAGE":
+        return {n: stage.resource for n, stage in STAGES.items()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -60,7 +73,7 @@ class ConstraintReport:
         """Readable multi-line report."""
         lines = [f"Constraint report for {self.target_name}"]
         for stage_name, verdict in self.verdicts.items():
-            subsystem = SUBSYSTEM_BY_STAGE.get(stage_name, stage_name)
+            subsystem = subsystem_for(stage_name)
             stop = self.stopping_sizes.get(stage_name)
             detail = f"stops at {stop}" if stop is not None else "no stop observed"
             lines.append(f"  {subsystem:<28} {verdict.value:<12} ({detail})")
@@ -100,6 +113,9 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
     base = result.stages.get(StageKind.BASE.value)
     query = result.stages.get(StageKind.SMALL_QUERY.value)
     large = result.stages.get(StageKind.LARGE_OBJECT.value)
+    upload = result.stages.get("Upload")
+    churn = result.stages.get("ConnChurn")
+    bust = result.stages.get("CacheBust")
 
     # Univ-3 style: request handling vs bandwidth disambiguation
     if (
@@ -125,6 +141,49 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
             f"{query.stopping_crowd_size} concurrent queries while bandwidth "
             "absorbs the tested load: highly vulnerable to simple "
             "application-level DDoS attacks on the back end."
+        )
+
+    # new-stage comparatives (no-ops for the paper's three-stage runs)
+
+    # storage vs bandwidth: cache-busted reads fold while the cached
+    # Large Object recipe absorbs the same crowd
+    if (
+        bust is not None
+        and large is not None
+        and bust.outcome is StageOutcome.STOPPED
+        and large.outcome is StageOutcome.NO_STOP
+    ):
+        report.diagnoses.append(
+            f"cache-busted reads stop at {bust.stopping_crowd_size} while the "
+            "cached Large Object absorbs the tested load: the constraint is "
+            "the storage subsystem, masked in steady state by the server "
+            "cache."
+        )
+
+    # accept path vs request processing
+    if (
+        churn is not None
+        and base is not None
+        and churn.outcome is StageOutcome.STOPPED
+        and base.outcome is StageOutcome.NO_STOP
+    ):
+        report.diagnoses.append(
+            f"connection churn stops at {churn.stopping_crowd_size} while "
+            "plain request handling does not: the accept/FD path, not "
+            "request processing, is the constraint."
+        )
+
+    # write path vs read-side back end
+    if (
+        upload is not None
+        and query is not None
+        and upload.outcome is StageOutcome.STOPPED
+        and query.outcome is StageOutcome.NO_STOP
+    ):
+        report.diagnoses.append(
+            f"uploads stop at {upload.stopping_crowd_size} while read "
+            "queries absorb the tested load: the write path (body intake, "
+            "backend writes, storage journal) is the constraint."
         )
 
     # Univ-2 style: all stages stop at about the same crowd
@@ -155,7 +214,7 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
 
     ranked = sorted(result.stages.items(), key=sort_key)
     report.ddos_vulnerability_order = [
-        SUBSYSTEM_BY_STAGE.get(name, name)
+        subsystem_for(name)
         for name, stage in ranked
         if stage.outcome is StageOutcome.STOPPED
     ]

@@ -77,6 +77,8 @@ class MFCRunner:
         config: Optional[MFCConfig] = None,
         seed: int = 0,
         stage_kinds: Optional[Sequence[StageKind]] = None,
+        stages: Optional[Sequence[str]] = None,
+        planner=None,
         monitor_interval_s: Optional[float] = None,
         control_loss_prob: float = 0.0,
         use_naive_scheduling: bool = False,
@@ -85,7 +87,10 @@ class MFCRunner:
         """Assemble a world (thin wrapper over ``WorldSpec.build()``).
 
         *stage_kinds* restricts which stages run (default: all the
-        profile supports).  *monitor_interval_s* attaches an
+        profile supports); *stages* selects registry-named probe
+        stages instead (e.g. ``["Upload", "CacheBust"]``).  *planner*
+        is a :class:`~repro.core.epochs.PlannerSpec` choosing the
+        epoch-progression strategy.  *monitor_interval_s* attaches an
         ``atop``-style monitor to the (first) server.
         """
         from repro.worlds.spec import WorldSpec
@@ -98,6 +103,8 @@ class MFCRunner:
             stage_kinds=(
                 tuple(stage_kinds) if stage_kinds is not None else None
             ),
+            stages=tuple(stages) if stages is not None else None,
+            planner=planner,
             monitor_interval_s=monitor_interval_s,
             control_loss_prob=control_loss_prob,
             use_naive_scheduling=use_naive_scheduling,

@@ -26,16 +26,18 @@ runs do identical simulated work, only the wall clock differs.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import time
 from typing import Dict, List, Optional
 
 from repro.core.config import MFCConfig
+from repro.core.epochs import PlannerSpec
 from repro.core.stages import StageKind
 from repro.server import presets
 from repro.sim.kernel import Simulator
-from repro.workload.fleet import FleetSpec
+from repro.workload.fleet import FleetSpec, lan_fleet
 from repro.worlds.spec import WorldSpec
 
 
@@ -282,6 +284,90 @@ def bench_world(
     }
 
 
+def bench_bisect_ramp(
+    n_clients: int = 200,
+    max_crowd: int = 200,
+    crowd_step: int = 5,
+    access_mbps: float = 2000.0,
+    seed: int = 0,
+    repeats: int = 1,
+) -> Dict:
+    """Epoch-count savings of ``BisectKnee`` vs ``LinearRamp``.
+
+    Runs the 200-client Large Object world twice — identical scenario,
+    fleet, config and seed, only the epoch-progression strategy
+    differs — on a LAN fleet against a widened access link, which puts
+    the bandwidth knee high in the sweep (the regime where a linear
+    ramp pays one epoch per step).  Reports each planner's epoch and
+    request counts, their stopping sizes, and ``epoch_savings`` =
+    linear epochs / bisect epochs — the paper's §7 intrusiveness
+    metric: how many synchronized bursts the target absorbs before the
+    MFC reaches its verdict.
+    """
+    scenario = dataclasses.replace(
+        presets.qtnp_server(),
+        server_access_bps=access_mbps * 1e6 / 8.0,
+    )
+    config = MFCConfig(
+        threshold_s=0.100,
+        max_crowd=max_crowd,
+        crowd_step=crowd_step,
+        initial_crowd=crowd_step,
+        min_clients=min(50, max(1, int(n_clients * 0.75))),
+    )
+
+    def spec_for(planner: Optional[PlannerSpec]) -> WorldSpec:
+        return WorldSpec(
+            scenario=scenario,
+            fleet=lan_fleet(n_clients),
+            config=config,
+            seed=seed,
+            stage_kinds=(StageKind.LARGE_OBJECT,),
+            planner=planner,
+        )
+
+    linear_spec = spec_for(None)
+    bisect_spec = spec_for(PlannerSpec(name="bisect"))
+    state: Dict = {}
+
+    def run() -> None:
+        state["linear"] = linear_spec.build().run()
+        state["bisect"] = bisect_spec.build().run()
+
+    seconds = _best_of(repeats, run)
+    stage_name = StageKind.LARGE_OBJECT.value
+    linear = state["linear"].stage(stage_name)
+    bisect = state["bisect"].stage(stage_name)
+    fingerprint = "sha256:" + hashlib.sha256(
+        (
+            _result_fingerprint(state["linear"])
+            + _result_fingerprint(state["bisect"])
+        ).encode("ascii")
+    ).hexdigest()
+    return {
+        "seconds": seconds,
+        "epochs_linear": linear.epoch_count,
+        "epochs_bisect": bisect.epoch_count,
+        "epoch_savings": (
+            linear.epoch_count / bisect.epoch_count if bisect.epoch_count else 0.0
+        ),
+        "requests_linear": linear.total_requests,
+        "requests_bisect": bisect.total_requests,
+        "stop_linear": linear.describe(),
+        "stop_bisect": bisect.describe(),
+        "fingerprint": fingerprint,
+        "spec_hash": "sha256:" + bisect_spec.spec_hash,
+        "params": {
+            "n_clients": n_clients,
+            "max_crowd": max_crowd,
+            "crowd_step": crowd_step,
+            "access_mbps": access_mbps,
+            "seed": seed,
+            "repeats": repeats,
+        },
+    }
+
+
 # -- suites -------------------------------------------------------------------
 
 
@@ -329,6 +415,10 @@ def run_world_suite(quick: bool = False) -> Dict[str, Dict]:
             "world.large_object_60": bench_world(
                 n_clients=60, max_crowd=40, crowd_step=10, repeats=1
             ),
+            "world.bisect_ramp_60": bench_bisect_ramp(
+                n_clients=60, max_crowd=60, crowd_step=5,
+                access_mbps=500.0, repeats=1,
+            ),
         }
     return {
         "world.large_object_200": bench_world(
@@ -339,5 +429,8 @@ def run_world_suite(quick: bool = False) -> Dict[str, Dict]:
         ),
         "world.large_object_1000": bench_world(
             n_clients=1000, max_crowd=600, crowd_step=30, repeats=1
+        ),
+        "world.bisect_ramp": bench_bisect_ramp(
+            n_clients=200, max_crowd=200, crowd_step=5, repeats=1
         ),
     }

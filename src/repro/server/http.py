@@ -5,19 +5,31 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 _request_ids = itertools.count(1)
 
 #: nominal size of a headers-only response (HEAD or error)
 HEADER_BYTES = 250.0
 
+#: query-string marker the CacheBust stage appends to a static path;
+#: servers resolve the underlying object but treat the request as
+#: uncacheable (the classic unique-query-string cache-busting trick)
+CACHE_BUST_MARKER = "?mfc-cb="
+
+
+def split_cache_bust(path: str) -> Tuple[str, bool]:
+    """``(underlying path, had a cache-bust suffix)`` for *path*."""
+    base, marker, _ = path.partition(CACHE_BUST_MARKER)
+    return base, bool(marker)
+
 
 class Method(enum.Enum):
-    """The two HTTP methods the MFC stages use."""
+    """The three HTTP methods the MFC stages use."""
 
     GET = "GET"
     HEAD = "HEAD"
+    POST = "POST"
 
 
 class Status(enum.IntEnum):
@@ -25,6 +37,7 @@ class Status(enum.IntEnum):
 
     OK = 200
     NOT_FOUND = 404
+    METHOD_NOT_ALLOWED = 405
     SERVICE_UNAVAILABLE = 503
     #: client-side sentinel: the 10 s timeout killed the request
     CLIENT_TIMEOUT = 598
@@ -41,6 +54,9 @@ class HTTPRequest:
     #: lets the access-log analyses separate the two populations, as the
     #: cooperating-site operators did with their server logs.
     is_mfc: bool = False
+    #: request body size (POST); the server receives it over the same
+    #: network path before any content work happens
+    body_bytes: float = 0.0
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     def __post_init__(self) -> None:

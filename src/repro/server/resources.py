@@ -164,5 +164,13 @@ class ServerResources:
         finally:
             self.disk.release(grant)
 
+    def write_disk(self, size_bytes: float) -> Generator:
+        """Process body: journal *size_bytes* onto the disk.
+
+        Same single head, same seek + stream cost as a read — writes
+        and reads contend for the one spindle (§3.3 serialization).
+        """
+        yield from self.read_disk(size_bytes)
+
     def __repr__(self) -> str:
         return f"ServerResources({self.spec.name!r})"

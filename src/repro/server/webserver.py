@@ -34,7 +34,14 @@ from repro.server.accesslog import AccessLog
 from repro.server.backends import make_backend
 from repro.server.cache import LRUCache
 from repro.server.database import Database
-from repro.server.http import HEADER_BYTES, HTTPRequest, HTTPResponse, Method, Status
+from repro.server.http import (
+    HEADER_BYTES,
+    HTTPRequest,
+    HTTPResponse,
+    Method,
+    Status,
+    split_cache_bust,
+)
 from repro.server.resources import ServerResources, ServerSpec
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
@@ -132,26 +139,38 @@ class SimWebServer:
                 yield from self.resources.consume_cpu(self.spec.request_parse_cpu_s)
 
                 obj = self.site.lookup(request.path)
+                cache_bust = False
+                if obj is None:
+                    # a unique query-string suffix resolves to the
+                    # underlying object but defeats every server cache
+                    base_path, busted = split_cache_bust(request.path)
+                    if busted:
+                        obj = self.site.lookup(base_path)
+                        cache_bust = obj is not None
                 if obj is None:
                     yield from self._send(client, HEADER_BYTES, rtt)
                     return self._finish(
                         request, arrival, Status.NOT_FOUND, HEADER_BYTES
                     )
 
+                if request.method is Method.POST:
+                    status = yield from self._handle_write(request, obj, client, rtt)
+                    return self._finish(request, arrival, status, HEADER_BYTES)
+
                 if request.method is Method.HEAD:
                     response_bytes = HEADER_BYTES
                     yield from self.resources.consume_cpu(self.spec.head_cpu_s)
                 elif obj.dynamic:
                     response_bytes = obj.size_bytes
-                    if not (
+                    if cache_bust or not (
                         obj.cacheable and self.response_cache.lookup(obj.path)
                     ):
                         yield from self.backend.handle(obj)
-                        if obj.cacheable:
+                        if obj.cacheable and not cache_bust:
                             self.response_cache.insert(obj.path, obj.size_bytes)
                 else:
                     response_bytes = obj.size_bytes
-                    yield from self._fetch_static(obj)
+                    yield from self._fetch_static(obj, cache_bust=cache_bust)
 
                 yield from self._send(client, response_bytes, rtt)
                 return self._finish(request, arrival, Status.OK, response_bytes)
@@ -162,11 +181,44 @@ class SimWebServer:
         finally:
             self.pending_requests -= 1
 
-    def _fetch_static(self, obj: WebObject) -> Generator:
-        """Object cache, then disk; plus per-byte send CPU."""
-        if not self.object_cache.lookup(obj.path):
+    def _handle_write(
+        self, request: HTTPRequest, obj: WebObject, client: ClientNode, rtt: float
+    ) -> Generator:
+        """The write path (the Upload stage): body receive, backend,
+        storage journal, then a headers-only acknowledgement.
+
+        The worker thread is held across the whole sequence — body
+        bytes crossing the shared fluid links, the dynamic backend run
+        (never cached: writes are side effects), and the disk journal
+        of the body — which is exactly the pressure a GET-shaped probe
+        can never produce.
+        """
+        if not obj.dynamic:
+            # writes need an application endpoint, not a static file
+            yield from self._send(client, HEADER_BYTES, rtt)
+            return Status.METHOD_NOT_ALLOWED
+        if request.body_bytes > 0:
+            # body receive: the fluid links are direction-agnostic
+            # shared capacities, so the upload rides the same
+            # transfer-plus-thrash-stall path as a response of equal
+            # size (a thrashing box stalls both directions alike)
+            yield from self._send(client, request.body_bytes, rtt)
+        yield from self.backend.handle(obj)
+        if request.body_bytes > 0:
+            yield from self.resources.write_disk(request.body_bytes)
+        yield from self._send(client, HEADER_BYTES, rtt)
+        return Status.OK
+
+    def _fetch_static(self, obj: WebObject, cache_bust: bool = False) -> Generator:
+        """Object cache, then disk; plus per-byte send CPU.
+
+        A cache-busted request never consults or populates the object
+        cache: its unique query string makes the response uncacheable,
+        so every such request pays the full seek + stream.
+        """
+        if cache_bust or not self.object_cache.lookup(obj.path):
             yield from self.resources.read_disk(obj.size_bytes)
-            if obj.cacheable:
+            if obj.cacheable and not cache_bust:
                 self.object_cache.insert(obj.path, obj.size_bytes)
         send_cpu = self.spec.static_send_cpu_s_per_100kb * (obj.size_bytes / 102_400.0)
         yield from self.resources.consume_cpu(send_cpu)

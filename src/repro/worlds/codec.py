@@ -33,6 +33,7 @@ from typing import Dict, Set, Type
 from repro.content.objects import ContentType, WebObject
 from repro.content.site import SiteContent
 from repro.core.config import MFCConfig
+from repro.core.epochs import PlannerSpec
 from repro.core.stages import StageKind
 from repro.net.topology import ClientSpec, TopologySpec
 from repro.server.backends import BackendSpec
@@ -46,6 +47,17 @@ from repro.workload.fleet import FleetSpec
 COSMETIC_FIELDS: Dict[str, Set[str]] = {
     "Scenario": {"notes"},
     "WorldSpec": {"notes"},
+}
+
+#: fields omitted from *every* encoding while they hold the listed
+#: default.  This is how a spec dataclass grows new knobs without
+#: changing the canonical bytes — and therefore the spec hash and the
+#: campaign job keys — of every document written before the knob
+#: existed.  Decode already treats a missing field as "use the
+#: default", so old documents and new omit-at-default documents are
+#: the same bytes.
+DEFAULT_OMITTED_FIELDS: Dict[str, Dict[str, object]] = {
+    "WorldSpec": {"stages": None, "planner": None},
 }
 
 #: decodable dataclasses, by class name (the ``__dc__`` tag)
@@ -72,6 +84,7 @@ for _cls in (
     BackendSpec,
     FleetSpec,
     MFCConfig,
+    PlannerSpec,
     WebObject,
     ClientSpec,
     TopologySpec,
@@ -91,14 +104,16 @@ def encode(obj, cosmetic: bool = True):
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         skip = () if cosmetic else COSMETIC_FIELDS.get(type(obj).__name__, ())
-        return {
-            "__dc__": type(obj).__name__,
-            **{
-                f.name: encode(getattr(obj, f.name), cosmetic)
-                for f in dataclasses.fields(obj)
-                if f.name not in skip
-            },
-        }
+        omitted = DEFAULT_OMITTED_FIELDS.get(type(obj).__name__, {})
+        doc = {"__dc__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            if f.name in skip:
+                continue
+            value = getattr(obj, f.name)
+            if f.name in omitted and value == omitted[f.name]:
+                continue
+            doc[f.name] = encode(value, cosmetic)
+        return doc
     if isinstance(obj, enum.Enum):
         return {"__enum__": type(obj).__name__, "value": obj.value}
     if isinstance(obj, SiteContent):
@@ -151,7 +166,9 @@ def decode(doc):
             kwargs = {}
             for f in dataclasses.fields(cls):
                 if f.name not in doc:
-                    continue  # cosmetic field dropped by a canonical dump
+                    # cosmetic field dropped by a canonical dump, or a
+                    # default-omitted field (pre-knob document)
+                    continue
                 value = decode(doc[f.name])
                 if isinstance(value, list):
                     value = tuple(value)

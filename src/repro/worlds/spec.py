@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import MFCConfig
-from repro.core.stages import StageKind
+from repro.core.epochs import PlannerSpec
+from repro.core.stages import StageKind, validate_stage_names
 from repro.server.http import HEADER_BYTES
 from repro.server.presets import Scenario
 from repro.workload.fleet import FleetSpec
@@ -76,8 +77,15 @@ class WorldSpec:
     fleet: FleetSpec = field(default_factory=FleetSpec)
     config: MFCConfig = field(default_factory=MFCConfig)
     seed: int = 0
-    #: restrict which stages run (None: all the profile supports)
+    #: restrict which stages run (None: all the profile supports);
+    #: legacy vocabulary limited to the paper's three StageKinds
     stage_kinds: Optional[Tuple[StageKind, ...]] = None
+    #: registry-named probe stages, in run order (the general form:
+    #: any name in ``repro.core.stages.STAGES``, e.g. "Upload");
+    #: mutually exclusive with *stage_kinds*
+    stages: Optional[Tuple[str, ...]] = None
+    #: epoch-progression strategy (None: the paper's linear ramp)
+    planner: Optional[PlannerSpec] = None
     #: attach an ``atop``-style monitor to the (first) server
     monitor_interval_s: Optional[float] = None
     #: loss probability on the coordinator↔client control channel
@@ -95,6 +103,14 @@ class WorldSpec:
     def __post_init__(self) -> None:
         if self.stage_kinds is not None:
             self.stage_kinds = tuple(self.stage_kinds)
+        if self.stages is not None:
+            self.stages = tuple(self.stages)
+        if self.planner == PlannerSpec():
+            # an explicit default-linear planner IS the default: fold it
+            # to None so the spec hash (and every campaign job key) of
+            # `--planner linear` equals the planner-less world it
+            # byte-identically reproduces
+            self.planner = None
 
     # -- identity -------------------------------------------------------------
 
@@ -128,6 +144,15 @@ class WorldSpec:
             )
         self.config.validate()
         self.fleet.validate()
+        if self.stage_kinds is not None and self.stages is not None:
+            raise ValueError(
+                "give stage_kinds= (legacy three-stage vocabulary) or "
+                "stages= (registry names), not both"
+            )
+        if self.stages is not None:
+            validate_stage_names(self.stages)
+        if self.planner is not None:
+            self.planner.validate()
         if self.synthetic is not None:
             self.synthetic.validate()
             unsupported = {
@@ -135,6 +160,7 @@ class WorldSpec:
                 "bottleneck_capacity_bps": self.bottleneck_capacity_bps,
                 "background_rps": self.background_rps,
                 "stage_kinds": self.stage_kinds,
+                "stages": self.stages,
                 "fleet.bottleneck_group": self.fleet.bottleneck_group,
             }
             extras = sorted(k for k, v in unsupported.items() if v is not None)
@@ -158,7 +184,7 @@ class WorldSpec:
         from repro.core.coordinator import Coordinator
         from repro.core.profiler import profile_site
         from repro.core.runner import MFCRunner
-        from repro.core.stages import standard_stages
+        from repro.core.stages import stages_named, standard_stages
         from repro.net.topology import ClientSpec, Topology, TopologySpec
         from repro.server.cluster import LoadBalancedCluster
         from repro.server.monitor import ResourceMonitor
@@ -250,6 +276,7 @@ class WorldSpec:
             target_name=scenario.name,
             rng=rngs.stream("coordinator"),
             use_naive_scheduling=self.use_naive_scheduling,
+            planner=self.planner,
         )
         background = BackgroundTraffic(
             sim,
@@ -261,10 +288,13 @@ class WorldSpec:
         )
 
         profile = profile_site(scenario.site)
-        stages = standard_stages(profile)
-        if self.stage_kinds is not None:
-            wanted = set(self.stage_kinds)
-            stages = [s for s in stages if s.kind in wanted]
+        if self.stages is not None:
+            stages = stages_named(self.stages, profile)
+        else:
+            stages = standard_stages(profile)
+            if self.stage_kinds is not None:
+                wanted = set(self.stage_kinds)
+                stages = [s for s in stages if s.kind in wanted]
 
         monitor = (
             ResourceMonitor(sim, servers[0], interval_s=self.monitor_interval_s)
@@ -339,9 +369,10 @@ class WorldSpec:
             target_name="synthetic",
             rng=rngs.stream("coordinator"),
             use_naive_scheduling=self.use_naive_scheduling,
+            planner=self.planner,
         )
         stage = StagePlan(
-            kind=StageKind.BASE,
+            name=StageKind.BASE.value,
             method=Method.GET,
             degradation_quantile=0.5,
             object_paths=(synth.probe_path,),

@@ -91,6 +91,137 @@ def test_grid_uses_study_seeding():
     assert [j.meta["stratum"] for j in jobs] == [s.stratum for s in sites]
 
 
+def test_grid_over_named_stages_and_planners():
+    """The stage/planner axes expand to world jobs; legacy StageKind
+    entries under the default planner stay scenario jobs with the
+    historical ids (so old stores keep serving their keys)."""
+    from repro.core.epochs import PlannerSpec
+
+    spec = CampaignSpec.grid(
+        name="grid",
+        scenarios=[("qtnp", qtnp_server())],
+        stages=(StageKind.BASE, "Upload"),
+        planners=(("default", None), ("bisect", PlannerSpec(name="bisect"))),
+        fleet_spec=STUDY_FLEET,
+    )
+    jobs = spec.expand()
+    assert len(jobs) == 4
+    by_id = {j.job_id: j for j in jobs}
+    # legacy cell: scenario payload, id without a planner tag
+    legacy = by_id["qtnp|Base|default|seed0"]
+    assert legacy.scenario is not None and legacy.world is None
+    assert legacy.stage_kinds == (StageKind.BASE,)
+    # named stage under the default planner: world job selecting by name
+    upload = by_id["qtnp|Upload|default|seed0"]
+    assert upload.world is not None
+    assert upload.world.stages == ("Upload",)
+    assert upload.world.planner is None
+    # any cell under a non-default planner is a world job with the spec
+    bisected = by_id["qtnp|Base|default|seed0|bisect"]
+    assert bisected.world.planner.name == "bisect"
+    assert bisected.world.stages == ("Base",)
+    assert by_id["qtnp|Upload|default|seed0|bisect"].meta["planner"] == "bisect"
+    # all four are distinct work
+    assert len({j.key for j in jobs}) == 4
+
+
+def test_legacy_grid_ids_and_keys_unchanged_by_planner_axis():
+    def make(**kwargs):
+        return CampaignSpec.grid(
+            name="grid",
+            scenarios=[("qtnp", qtnp_server())],
+            stages=(StageKind.BASE,),
+            fleet_spec=STUDY_FLEET,
+            **kwargs,
+        ).expand()
+
+    implicit = make()
+    explicit = make(planners=(("default", None),))
+    assert [j.job_id for j in implicit] == [j.job_id for j in explicit]
+    assert [j.key for j in implicit] == [j.key for j in explicit]
+
+
+def test_explicit_linear_planner_folds_into_the_default_cell():
+    """('linear', PlannerSpec('linear')) is byte-identical work to the
+    default cell: it must share the default's job key (and legacy
+    payload), not cache the same simulation twice under a new key."""
+    from repro.core.epochs import PlannerSpec
+
+    spec = CampaignSpec.grid(
+        name="grid",
+        scenarios=[("qtnp", qtnp_server())],
+        stages=(StageKind.BASE,),
+        planners=(("default", None), ("linear", PlannerSpec(name="linear"))),
+        fleet_spec=STUDY_FLEET,
+    )
+    jobs = spec.expand()
+    assert len(jobs) == 2
+    assert jobs[0].key == jobs[1].key          # deduped by the executor
+    assert all(j.scenario is not None for j in jobs)  # both legacy cells
+
+
+def test_grid_rejects_runner_kwargs_carrying_grid_axes():
+    from repro.core.epochs import PlannerSpec
+
+    with pytest.raises(ValueError, match="grid axes"):
+        CampaignSpec.grid(
+            name="grid",
+            scenarios=[("qtnp", qtnp_server())],
+            stages=("Upload",),
+            runner_kwargs={"planner": PlannerSpec(name="bisect")},
+        )
+    with pytest.raises(ValueError, match="grid axes"):
+        CampaignSpec.grid(
+            name="grid",
+            scenarios=[("qtnp", qtnp_server())],
+            stages=(StageKind.BASE,),
+            runner_kwargs={"seed": 4},
+        )
+
+
+def test_grid_runner_kwargs_reach_world_cells():
+    spec = CampaignSpec.grid(
+        name="grid",
+        scenarios=[("qtnp", qtnp_server())],
+        stages=("Upload",),
+        runner_kwargs={"use_naive_scheduling": True},
+    )
+    (job,) = spec.expand()
+    assert job.world.use_naive_scheduling is True
+
+
+def test_grid_rejects_unknown_stage_names():
+    with pytest.raises(ValueError, match="unknown probe stage"):
+        CampaignSpec.grid(
+            name="grid",
+            scenarios=[("qtnp", qtnp_server())],
+            stages=("Teleport",),
+        )
+
+
+def test_planner_grid_jobs_run(tmp_path):
+    """A small stage×planner grid executes through the normal engine
+    and each job returns the requested stage."""
+    from repro.core.epochs import PlannerSpec
+
+    config = MFCConfig(max_crowd=15, crowd_step=5, initial_crowd=5, min_clients=10)
+    spec = CampaignSpec.grid(
+        name="planner-grid",
+        scenarios=[("qtnp", qtnp_server())],
+        stages=("ConnChurn",),
+        planners=(
+            ("linear", PlannerSpec(name="linear")),
+            ("geometric", PlannerSpec(name="geometric")),
+        ),
+        variants=(("small", config),),
+        fleet_spec=FleetSpec(n_clients=20, unresponsive_fraction=0.0),
+    )
+    outcomes = run_campaign(spec, store=tmp_path / "grid.jsonl")
+    assert len(outcomes) == 2
+    for outcome in outcomes:
+        assert "ConnChurn" in outcome.result.stages
+
+
 def test_stable_key_tracks_execution_parameters():
     base = dict(scenario=qtnp_server(), stage_kinds=(StageKind.BASE,), seed=1)
     job = JobSpec(job_id="a", **base)

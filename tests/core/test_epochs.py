@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.config import MFCConfig
 from repro.core.epochs import (
+    PLANNERS,
+    BisectKnee,
     EpochPlanner,
+    GeometricRamp,
+    LinearRamp,
+    PlannerSpec,
     degradation_aggregate,
     degradation_aggregate_sorted,
     median,
@@ -248,3 +253,179 @@ def test_planner_check_crowd_never_below_one():
     crowd, label = planner.next_epoch()
     assert label is EpochLabel.CHECK_MINUS
     assert crowd >= 1
+
+
+# -- planner strategies -----------------------------------------------------------
+
+
+def test_registry_names_all_shipped_strategies():
+    assert {"linear", "geometric", "bisect"} <= set(PLANNERS)
+    assert PLANNERS["linear"] is LinearRamp
+    assert PLANNERS["geometric"] is GeometricRamp
+    assert PLANNERS["bisect"] is BisectKnee
+
+
+def test_linear_ramp_is_the_seed_planner():
+    """The default strategy must behave exactly like the base planner."""
+    for degrade_at in (None, 25, 40):
+        a = EpochPlanner(cfg())
+        b = LinearRamp(cfg())
+        trail_a = drive(a, degrade_at=degrade_at)
+        trail_b = drive(b, degrade_at=degrade_at)
+        assert trail_a == trail_b
+        assert (a.outcome, a.stopping_crowd_size) == (b.outcome, b.stopping_crowd_size)
+
+
+def test_geometric_ramp_progression():
+    planner = GeometricRamp(cfg(max_crowd=500), factor=2.0)
+    trail = drive(planner, degrade_at=None)
+    crowds = [c for c, _, _ in trail]
+    # the final step clamps to the cap: NoStop means the cap was probed
+    assert crowds == [5, 10, 20, 40, 80, 160, 320, 500]
+    assert planner.outcome is StageOutcome.NO_STOP
+
+
+def test_geometric_ramp_tests_the_cap_before_no_stop():
+    """A knee between the last geometric probe and the cap must be
+    found, not skipped: the ramp clamps its final step to the cap."""
+    planner = GeometricRamp(cfg(max_crowd=200), factor=2.0)
+    drive(planner, degrade_at=170, degrade_checks=True)
+    assert planner.outcome is StageOutcome.STOPPED
+    assert planner.stopping_crowd_size == 200  # the clamped cap probe
+
+
+def test_geometric_ramp_stops_via_check_phase():
+    planner = GeometricRamp(cfg(max_crowd=500), factor=2.0)
+    drive(planner, degrade_at=80, degrade_checks=True)
+    assert planner.outcome is StageOutcome.STOPPED
+    assert planner.stopping_crowd_size == 80
+
+
+def test_geometric_factor_validation():
+    with pytest.raises(ValueError, match="factor"):
+        GeometricRamp(cfg(), factor=1.0)
+    with pytest.raises(ValueError, match="growth_factor"):
+        BisectKnee(cfg(), growth_factor=0.5)
+
+
+def test_bisect_finds_the_same_knee_as_linear_in_fewer_epochs():
+    for knee in (60, 85, 130):
+        config = cfg(max_crowd=200)
+        linear = LinearRamp(config)
+        bisect = BisectKnee(config)
+        linear_trail = drive(linear, degrade_at=knee, degrade_checks=True)
+        bisect_trail = drive(bisect, degrade_at=knee, degrade_checks=True)
+        assert bisect.outcome is StageOutcome.STOPPED
+        # deterministic threshold crowds: bisect lands on the exact knee
+        # (the smallest crowd >= degrade_at it probed, at step resolution)
+        assert linear.stopping_crowd_size == knee
+        assert knee <= bisect.stopping_crowd_size < knee + config.crowd_step
+        assert len(bisect_trail) < len(linear_trail)
+
+
+def test_bisect_no_stop_tests_the_cap_itself():
+    planner = BisectKnee(cfg(max_crowd=50))
+    trail = drive(planner, degrade_at=None)
+    assert planner.outcome is StageOutcome.NO_STOP
+    assert max(c for c, _, _ in trail) == 50  # the cap was probed, not skipped
+
+
+def test_bisect_respects_client_supply_cap():
+    planner = BisectKnee(cfg(max_crowd=500), max_feasible_crowd=37)
+    trail = drive(planner, degrade_at=None)
+    assert planner.outcome is StageOutcome.NO_STOP
+    assert max(c for c, _, _ in trail) == 37
+
+
+def test_bisect_failed_check_reopens_the_bracket():
+    """A knee whose confirmation epochs all come back clean is a
+    transient: the planner must resume upward and finish NoStop."""
+    planner = BisectKnee(cfg(max_crowd=100))
+    degraded_once = {"done": False}
+    trail = []
+    while True:
+        nxt = planner.next_epoch()
+        if nxt is None:
+            break
+        crowd, label = nxt
+        if label is EpochLabel.NORMAL and crowd >= 40 and not degraded_once["done"]:
+            degraded = True
+            degraded_once["done"] = True
+        else:
+            degraded = False
+        trail.append((crowd, label))
+        planner.record(make_epoch(crowd, label, degraded))
+    assert planner.outcome is StageOutcome.NO_STOP
+    labels = [label for _, label in trail]
+    assert labels.count(EpochLabel.CHECK_MINUS) == 1
+    # progression resumed past the false knee up to the cap
+    assert max(c for c, _ in trail) == 100
+
+
+def test_bisect_below_significance_progresses():
+    planner = BisectKnee(cfg(min_significant_crowd=15, max_crowd=100))
+    trail = drive(planner, degrade_at=5, degrade_checks=True)
+    assert planner.outcome is StageOutcome.STOPPED
+    # the first significant degraded crowd is the knee
+    assert planner.stopping_crowd_size >= 15
+    assert planner.earliest_degraded_crowd == 5
+
+
+# -- PlannerSpec ------------------------------------------------------------------
+
+
+def test_planner_spec_default_is_linear():
+    planner = PlannerSpec().make(cfg())
+    assert isinstance(planner, LinearRamp)
+
+
+def test_planner_spec_passes_params():
+    planner = PlannerSpec(name="geometric", params={"factor": 3.0}).make(cfg())
+    assert isinstance(planner, GeometricRamp)
+    assert planner.factor == 3.0
+
+
+def test_planner_spec_unknown_name_raises():
+    with pytest.raises(ValueError, match="registered"):
+        PlannerSpec(name="clairvoyant").validate()
+
+
+def test_planner_spec_unknown_param_names_fail_validation():
+    """A typo'd parameter in a hand-edited world document must fail at
+    spec-validation time, not as a TypeError mid-simulation."""
+    with pytest.raises(ValueError, match="does not accept"):
+        PlannerSpec(name="linear", params={"factor": 2.0}).validate()
+    with pytest.raises(ValueError, match="growth_factor"):
+        PlannerSpec(name="bisect", params={"growthfactor": 2.0}).validate()
+    # correct names pass
+    PlannerSpec(name="geometric", params={"factor": 2.0}).validate()
+
+
+def test_planner_spec_bad_param_values_raise_value_error():
+    # constructor-level rejection stays a ValueError (the spec-error
+    # contract CLI/build callers catch)
+    with pytest.raises(ValueError, match="factor"):
+        PlannerSpec(name="geometric", params={"factor": 0.5}).make(cfg())
+    with pytest.raises(ValueError, match="invalid parameters"):
+        PlannerSpec(name="geometric", params={"factor": "fast"}).make(cfg())
+
+
+def test_bisect_terminates_when_coordinator_rounds_crowds():
+    """MFC-mr rounds each requested crowd up to a requests-per-client
+    multiple; a mid-crowd that rounds back up to the bracket top must
+    confirm the knee, not re-request the same mid forever."""
+    m = 8  # requests per client, > crowd_step
+    planner = BisectKnee(cfg(max_crowd=200, crowd_step=5))
+    epochs = 0
+    while True:
+        nxt = planner.next_epoch()
+        if nxt is None:
+            break
+        crowd, label = nxt
+        scheduled = -(-crowd // m) * m  # what the coordinator runs
+        degraded = scheduled >= 56
+        epochs += 1
+        assert epochs < 60, "planner failed to terminate"
+        planner.record(make_epoch(scheduled, label, degraded))
+    assert planner.outcome is StageOutcome.STOPPED
+    assert planner.stopping_crowd_size == 56

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.content.site import SiteContentBuilder, minimal_site
-from repro.core.inference import Provisioning, infer_constraints
+from repro.core.inference import (
+    SUBSYSTEM_BY_STAGE,
+    Provisioning,
+    infer_constraints,
+    subsystem_for,
+)
 from repro.core.profiler import ProfilerSettings, profile_site
 from repro.core.records import (
     EpochLabel,
@@ -120,6 +125,114 @@ def test_summary_renders_all_parts():
     assert "http request handling" in text
     assert "stops at 20" in text
     assert "no stop observed" in text
+
+
+# -- verdict branches, incl. the new stage→resource mappings -----------------------
+
+
+@pytest.mark.parametrize("outcome,expected", [
+    (StageOutcome.STOPPED, Provisioning.CONSTRAINED),
+    (StageOutcome.NO_STOP, Provisioning.ADEQUATE),
+    (StageOutcome.SKIPPED, Provisioning.UNKNOWN),
+    (StageOutcome.ABORTED, Provisioning.UNKNOWN),
+])
+def test_every_outcome_maps_to_a_verdict(outcome, expected):
+    result = MFCResult(target_name="t", live_clients=60)
+    stopping = 20 if outcome is StageOutcome.STOPPED else None
+    result.stages["Base"] = stage_result("Base", outcome, stopping)
+    report = infer_constraints(result)
+    assert report.verdict_for("Base") is expected
+    assert report.stopping_sizes["Base"] == stopping
+
+
+def test_unmeasured_stage_is_unknown():
+    report = infer_constraints(MFCResult(target_name="t", live_clients=60))
+    assert report.verdict_for("Base") is Provisioning.UNKNOWN
+
+
+def test_new_stages_produce_verdicts_with_registry_resources():
+    result = MFCResult(target_name="t", live_clients=60)
+    result.stages["Upload"] = stage_result("Upload", StageOutcome.STOPPED, 15)
+    result.stages["ConnChurn"] = stage_result("ConnChurn", StageOutcome.NO_STOP)
+    result.stages["CacheBust"] = stage_result("CacheBust", StageOutcome.STOPPED, 30)
+    report = infer_constraints(result)
+    assert report.verdict_for("Upload") is Provisioning.CONSTRAINED
+    assert report.verdict_for("ConnChurn") is Provisioning.ADEQUATE
+    assert report.verdict_for("CacheBust") is Provisioning.CONSTRAINED
+    text = report.summary()
+    assert "back-end write path" in text
+    assert "connection handling (accept/FD)" in text
+    assert "storage (disk) subsystem" in text
+    # DDoS ranking speaks sub-system language for new stages too
+    assert report.ddos_vulnerability_order[0] == "back-end write path"
+
+
+def test_subsystem_mapping_comes_from_the_registry():
+    assert subsystem_for("Base") == "http request handling"
+    assert subsystem_for("Upload") == "back-end write path"
+    assert subsystem_for("SomethingCustom") == "SomethingCustom"
+    assert SUBSYSTEM_BY_STAGE["CacheBust"] == "storage (disk) subsystem"
+    assert SUBSYSTEM_BY_STAGE["ConnChurn"] == "connection handling (accept/FD)"
+
+
+def test_subsystem_table_sees_late_registered_stages(monkeypatch):
+    """The module-level table is a live registry view, not an
+    import-time snapshot: a stage registered afterwards appears."""
+    import repro.core.inference as inference
+    from repro.core.stages import STAGES, ProbeStage
+    from repro.server.http import Method
+
+    monkeypatch.setitem(
+        STAGES,
+        "LateStage",
+        ProbeStage("LateStage", "late resource", Method.GET, 0.5,
+                   source="base-page"),
+    )
+    assert inference.SUBSYSTEM_BY_STAGE["LateStage"] == "late resource"
+    assert subsystem_for("LateStage") == "late resource"
+    with pytest.raises(AttributeError):
+        inference.NOT_A_THING
+
+
+def test_cache_bust_vs_large_object_diagnosis():
+    result = result_with(
+        large=stage_result("LargeObject", StageOutcome.NO_STOP),
+    )
+    result.stages["CacheBust"] = stage_result("CacheBust", StageOutcome.STOPPED, 25)
+    report = infer_constraints(result)
+    assert any("storage subsystem" in d for d in report.diagnoses)
+
+
+def test_conn_churn_vs_base_diagnosis():
+    result = result_with(
+        base=stage_result("Base", StageOutcome.NO_STOP),
+    )
+    result.stages["ConnChurn"] = stage_result("ConnChurn", StageOutcome.STOPPED, 20)
+    report = infer_constraints(result)
+    assert any("accept/FD path" in d for d in report.diagnoses)
+
+
+def test_upload_vs_small_query_diagnosis():
+    result = result_with(
+        query=stage_result("SmallQuery", StageOutcome.NO_STOP),
+    )
+    result.stages["Upload"] = stage_result("Upload", StageOutcome.STOPPED, 10)
+    report = infer_constraints(result)
+    assert any("write path" in d for d in report.diagnoses)
+
+
+def test_new_diagnoses_silent_without_their_stages():
+    """Three-stage paper runs must read exactly as before."""
+    result = result_with(
+        base=stage_result("Base", StageOutcome.STOPPED, 20),
+        query=stage_result("SmallQuery", StageOutcome.NO_STOP),
+        large=stage_result("LargeObject", StageOutcome.NO_STOP),
+    )
+    report = infer_constraints(result)
+    for diagnosis in report.diagnoses:
+        assert "write path" not in diagnosis
+        assert "accept/FD" not in diagnosis
+        assert "storage subsystem" not in diagnosis
 
 
 # -- records -----------------------------------------------------------------------

@@ -186,6 +186,100 @@ def test_pending_counter_returns_to_zero(world):
     assert server.pending_requests == 0
 
 
+# -- write path (POST / the Upload stage) ---------------------------------------
+
+
+def test_post_to_dynamic_endpoint_runs_backend_and_journals_disk(world):
+    sim, topo, server = world
+    c = topo.clients[0]
+    req = HTTPRequest(
+        Method.POST, "/cgi-bin/q?x=1", c.client_id, body_bytes=64 * 1024.0
+    )
+    resp = sim.run_until_complete(server.submit(req, c, 0.05))
+    assert resp.status is Status.OK
+    assert resp.bytes_transferred == HEADER_BYTES  # ack only
+    assert server.database.queries_executed == 1
+    # the body journal hit the disk
+    assert server.resources.disk.busy_integral() > 0
+
+
+def test_post_to_static_object_is_method_not_allowed(world):
+    sim, topo, server = world
+    c = topo.clients[0]
+    req = HTTPRequest(Method.POST, "/big.tar.gz", c.client_id, body_bytes=1024.0)
+    resp = sim.run_until_complete(server.submit(req, c, 0.05))
+    assert resp.status is Status.METHOD_NOT_ALLOWED
+    assert server.database.queries_executed == 0
+
+
+def test_post_body_upload_pays_transfer_time(world):
+    sim, topo, server = world
+    small = HTTPRequest(Method.POST, "/cgi-bin/q?x=1", "c0", body_bytes=1024.0)
+    large = HTTPRequest(
+        Method.POST, "/cgi-bin/q?x=1", "c1", body_bytes=4_000_000.0
+    )
+    t_small = sim.run_until_complete(
+        server.submit(small, topo.clients[0], 0.05)
+    ).server_side_duration
+    t_large = sim.run_until_complete(
+        server.submit(large, topo.clients[1], 0.05)
+    ).server_side_duration
+    # the 4 MB body must cross the network and the disk journal
+    assert t_large > t_small + 0.01
+
+
+def test_post_never_populates_response_cache():
+    spec = ServerSpec(response_cache_bytes=64 * MIB)
+    sim, topo, server = build_world(spec=spec)
+    c = topo.clients[0]
+    req = HTTPRequest(Method.POST, "/cgi-bin/q?x=1", c.client_id, body_bytes=100.0)
+    sim.run_until_complete(server.submit(req, c, 0.05))
+    # a write is a side effect, not a cacheable response
+    assert not server.response_cache.lookup("/cgi-bin/q?x=1")
+
+
+# -- cache busting (the CacheBust stage) ----------------------------------------
+
+
+def test_cache_bust_resolves_underlying_object(world):
+    sim, topo, server = world
+    resp = fetch(sim, server, topo.clients[0], "/big.tar.gz?mfc-cb=0")
+    assert resp.status is Status.OK
+    assert resp.bytes_transferred == pytest.approx(150_000.0)
+
+
+def test_cache_bust_suffix_on_unknown_path_is_404(world):
+    sim, topo, server = world
+    resp = fetch(sim, server, topo.clients[0], "/ghost.bin?mfc-cb=3")
+    assert resp.status is Status.NOT_FOUND
+
+
+def test_cache_bust_always_hits_disk():
+    sim, topo, server = build_world()
+    c = topo.clients[0]
+    fetch(sim, server, c, "/big.tar.gz?mfc-cb=0")
+    first = server.resources.disk.busy_integral()
+    assert first > 0
+    fetch(sim, server, c, "/big.tar.gz?mfc-cb=1")
+    second = server.resources.disk.busy_integral()
+    assert second > first
+    # and it never warmed the object cache for the plain path either
+    fetch(sim, server, c, "/big.tar.gz")
+    assert server.resources.disk.busy_integral() > second
+    assert server.object_cache.hits == 0
+
+
+def test_plain_requests_unaffected_by_cache_busting(world):
+    sim, topo, server = world
+    c = topo.clients[0]
+    fetch(sim, server, c, "/big.tar.gz")            # warms the cache
+    busy = server.resources.disk.busy_integral()
+    fetch(sim, server, c, "/big.tar.gz?mfc-cb=7")   # busts around it
+    fetch(sim, server, c, "/big.tar.gz")            # cache hit again
+    assert server.object_cache.hits == 1
+    assert server.resources.disk.busy_integral() > busy
+
+
 def test_large_object_contention_raises_response_time():
     """The Figure 5 mechanism: same object, response time rises with
     crowd size, CPU and disk stay quiet."""

@@ -221,6 +221,106 @@ def test_parser_rejects_unknown_stage():
         build_parser().parse_args(["run", "qtnp", "--stage", "upload"])
 
 
+# -- repro stages / run --stages / --planner -------------------------------------
+
+
+def test_stages_lists_registry_and_planners(capsys):
+    assert main(["stages"]) == 0
+    out = capsys.readouterr().out
+    for name in ("Base", "SmallQuery", "LargeObject", "Upload", "ConnChurn",
+                 "CacheBust"):
+        assert name in out
+    for planner in ("linear", "geometric", "bisect"):
+        assert planner in out
+    # recipes and targeted resources are shown
+    assert "POST+64KB body" in out
+    assert "back-end write path" in out
+
+
+def test_stages_tolerates_docstring_less_planner(capsys, monkeypatch):
+    from repro.core.epochs import PLANNERS, LinearRamp
+
+    class Custom(LinearRamp):
+        pass
+
+    Custom.__doc__ = None
+    monkeypatch.setitem(PLANNERS, "custom", Custom)
+    assert main(["stages"]) == 0
+    assert "custom" in capsys.readouterr().out
+
+
+def test_run_with_named_stages(capsys):
+    code = main([
+        "run", "qtnp", "--stages", "ConnChurn", "--stages", "Upload",
+        "--max-crowd", "15", "--clients", "55", "--quiet", "--seed", "1",
+    ])
+    assert code == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0].startswith("ConnChurn\t")
+    assert lines[1].startswith("Upload\t")
+
+
+def test_run_with_bisect_planner(capsys):
+    code = main([
+        "run", "qtnp", "--planner", "bisect", "--max-crowd", "20",
+        "--clients", "55", "--stage", "base", "--quiet", "--seed", "1",
+    ])
+    assert code == 0
+    assert capsys.readouterr().out.startswith("Base\t")
+
+
+def test_run_rejects_stage_and_stages_together(capsys):
+    code = main([
+        "run", "qtnp", "--stage", "base", "--stages", "Upload", "--quiet",
+    ])
+    assert code == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_parser_rejects_unknown_registry_stage_and_planner():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "qtnp", "--stages", "Teleport"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "qtnp", "--planner", "oracle"])
+
+
+def test_run_jobs_with_named_stages(capsys, tmp_path):
+    args = ["run", "qtnp", "--stages", "CacheBust", "--max-crowd", "15",
+            "--clients", "55", "--quiet", "--seed", "1"]
+    assert main(args) == 0
+    sequential = capsys.readouterr().out
+    cache = str(tmp_path / "stages.jsonl")
+    assert main(args + ["--jobs", "2", "--cache", cache]) == 0
+    assert capsys.readouterr().out == sequential
+
+
+def test_spec_dump_with_stages_and_planner_roundtrips(capsys, tmp_path):
+    flags = ["--stages", "Upload", "--planner", "geometric", "--max-crowd",
+             "15", "--clients", "55", "--seed", "1"]
+    assert main(["run", "qtnp", "--quiet"] + flags) == 0
+    direct = capsys.readouterr().out
+    assert main(["spec", "dump", "qtnp"] + flags) == 0
+    document = capsys.readouterr().out
+    assert '"Upload"' in document and '"geometric"' in document
+    path = tmp_path / "world.json"
+    path.write_text(document)
+    assert main(["run", "--spec", str(path), "--quiet"]) == 0
+    assert capsys.readouterr().out == direct
+
+
+def test_list_json_includes_probe_stages_and_planners(capsys):
+    assert main(["list", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["planners"] == ["bisect", "geometric", "linear"]
+    stages = doc["probe_stages"]
+    assert set(stages) >= {"Base", "SmallQuery", "LargeObject", "Upload",
+                           "ConnChurn", "CacheBust"}
+    assert stages["Upload"]["method"] == "POST"
+    assert stages["Upload"]["body_bytes"] == 64 * 1024.0
+    assert stages["ConnChurn"]["connections"] == 4
+    assert stages["CacheBust"]["resource"] == "storage (disk) subsystem"
+
+
 # -- repro perf ----------------------------------------------------------------
 
 

@@ -115,6 +115,171 @@ def test_property_roundtrip_hash_stability():
         assert decoded.spec_hash == spec.spec_hash
 
 
+# -- pluggable stages / planner ----------------------------------------------------
+
+
+def test_default_spec_omits_stage_and_planner_fields():
+    """Hash stability across releases: a spec not using the new knobs
+    must encode to the exact pre-knob document (no new keys), so every
+    existing spec hash, campaign job key and cached result stays
+    valid."""
+    spec = WorldSpec(
+        scenario=SCENARIO_PRESETS["qtnp"](), fleet=SMALL_FLEET, config=SMALL_CONFIG
+    )
+    doc = json.loads(spec.to_json())
+    assert "stages" not in doc
+    assert "planner" not in doc
+    assert "stages" not in codec.canonical(spec)
+
+
+def test_pre_knob_document_still_decodes():
+    """A JSON world written before the stages/planner fields existed
+    decodes to the same world (and the same hash) today."""
+    spec = WorldSpec(
+        scenario=SCENARIO_PRESETS["qtnp"](), fleet=SMALL_FLEET, config=SMALL_CONFIG
+    )
+    doc = json.loads(spec.to_json())
+    assert "stages" not in doc and "planner" not in doc  # i.e. pre-knob bytes
+    decoded = codec.decode(doc)
+    assert decoded.stages is None and decoded.planner is None
+    assert decoded.spec_hash == spec.spec_hash
+
+
+def test_stages_and_planner_roundtrip_with_stable_hash():
+    from repro.core.epochs import BisectKnee, PlannerSpec
+
+    spec = WorldSpec(
+        scenario=SCENARIO_PRESETS["qtnp"](),
+        fleet=SMALL_FLEET,
+        config=SMALL_CONFIG,
+        seed=4,
+        stages=("Upload", "CacheBust", "ConnChurn"),
+        planner=PlannerSpec(name="bisect", params={"growth_factor": 3.0}),
+    )
+    decoded = WorldSpec.from_json(spec.to_json())
+    assert decoded.spec_hash == spec.spec_hash
+    assert decoded.stages == ("Upload", "CacheBust", "ConnChurn")
+    assert decoded.planner.name == "bisect"
+    assert decoded.planner.params == {"growth_factor": 3.0}
+    runner = decoded.build()
+    assert [s.name for s in runner.stages] == ["Upload", "CacheBust", "ConnChurn"]
+    planner = runner.coordinator.planner.make(SMALL_CONFIG)
+    assert isinstance(planner, BisectKnee)
+    assert planner.growth_factor == 3.0
+
+
+def test_stages_and_planner_change_the_hash():
+    from repro.core.epochs import PlannerSpec
+
+    base = WorldSpec(scenario=qtnp_server(), seed=1)
+    assert (
+        WorldSpec(scenario=qtnp_server(), seed=1, stages=("Base",)).spec_hash
+        != base.spec_hash
+    )
+    assert (
+        WorldSpec(
+            scenario=qtnp_server(), seed=1, planner=PlannerSpec(name="geometric")
+        ).spec_hash
+        != base.spec_hash
+    )
+
+
+def test_explicit_default_planner_folds_to_none():
+    """`--planner linear` is byte-identical to the default, so it must
+    hash (and cache) identically: the spec normalizes an explicit
+    default-linear PlannerSpec away."""
+    from repro.core.epochs import PlannerSpec
+
+    base = WorldSpec(scenario=qtnp_server(), seed=1)
+    explicit = WorldSpec(
+        scenario=qtnp_server(), seed=1, planner=PlannerSpec(name="linear")
+    )
+    assert explicit.planner is None
+    assert explicit.spec_hash == base.spec_hash
+    # a parameterized linear planner is NOT the default (unknown params
+    # are rejected at validation, but the hash must still distinguish)
+    kept = WorldSpec(
+        scenario=qtnp_server(),
+        seed=1,
+        planner=PlannerSpec(name="geometric", params={"factor": 1.5}),
+    )
+    assert kept.planner is not None
+
+
+def test_new_stage_world_runs_and_infers():
+    from repro.core.inference import infer_constraints
+
+    spec = WorldSpec(
+        scenario=SCENARIO_PRESETS["qtnp"](),
+        fleet=SMALL_FLEET,
+        config=SMALL_CONFIG,
+        seed=2,
+        stages=("ConnChurn",),
+    )
+    result = spec.build().run()
+    assert "ConnChurn" in result.stages
+    report = infer_constraints(result)
+    assert "connection handling (accept/FD)" in report.summary()
+    # intrusiveness accounting counts every churn connection: 4 per
+    # base measurement and 4 per commanded crowd slot
+    stage = result.stage("ConnChurn")
+    expected = 4 * (result.live_clients + sum(e.crowd_size for e in stage.epochs))
+    assert stage.total_requests == expected
+
+
+def test_stage_kinds_and_stages_are_mutually_exclusive():
+    spec = WorldSpec(
+        scenario=qtnp_server(),
+        stage_kinds=(StageKind.BASE,),
+        stages=("Upload",),
+    )
+    with pytest.raises(ValueError, match="not both"):
+        spec.build()
+
+
+def test_unknown_stage_name_rejected_at_validation():
+    spec = WorldSpec(scenario=qtnp_server(), stages=("Warp",))
+    with pytest.raises(ValueError, match="unknown probe stage"):
+        spec.build()
+
+
+def test_unknown_planner_rejected_at_validation():
+    from repro.core.epochs import PlannerSpec
+
+    spec = WorldSpec(scenario=qtnp_server(), planner=PlannerSpec(name="oracle"))
+    with pytest.raises(ValueError, match="unknown planner"):
+        spec.build()
+
+
+def test_synthetic_world_rejects_named_stages_but_takes_planner():
+    from repro.core.epochs import BisectKnee, PlannerSpec
+
+    rejected = WorldSpec(
+        synthetic=SyntheticSpec(
+            model="linear", params={"seconds_per_request": 0.01}
+        ),
+        fleet=lan_fleet(5),
+        stages=("Base",),
+    )
+    with pytest.raises(ValueError, match="stages"):
+        rejected.build()
+    accepted = WorldSpec(
+        synthetic=SyntheticSpec(
+            model="step", params={"threshold": 10, "low_s": 0.0, "high_s": 0.5}
+        ),
+        fleet=lan_fleet(15),
+        config=MFCConfig(min_clients=1, max_crowd=15, threshold_s=0.1),
+        planner=PlannerSpec(name="bisect"),
+        seed=5,
+    )
+    runner = accepted.build()
+    assert isinstance(
+        runner.coordinator.planner.make(accepted.config), BisectKnee
+    )
+    result = runner.run()
+    assert result.stage(StageKind.BASE.value).stopping_crowd_size is not None
+
+
 # -- identity semantics -----------------------------------------------------------
 
 
