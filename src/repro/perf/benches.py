@@ -42,9 +42,19 @@ from repro.worlds.spec import WorldSpec
 
 
 def _best_of(repeats: int, fn) -> float:
-    """Run ``fn()`` *repeats* times; return the fastest wall time."""
+    """Run ``fn()`` *repeats* times; return the fastest wall time.
+
+    Each trial starts from a collected heap: without this, garbage
+    promoted to the old generation by trial N inflates the collector
+    pauses trial N+1 pays, so repeats are not independent samples and
+    the reported best drifts with suite ordering.  (The collection
+    itself runs outside the timed window.)
+    """
+    import gc
+
     best = float("inf")
     for _ in range(max(repeats, 1)):
+        gc.collect()
         start = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - start)
@@ -90,6 +100,80 @@ def bench_kernel_cascade(n_events: int = 200_000, repeats: int = 3) -> Dict:
         def tick() -> None:
             state["left"] -= 1
             if state["left"] > 0:
+                sim.call_in(0.001, tick)
+
+        sim.call_in(0.001, tick)
+        sim.run()
+        assert state["left"] == 0
+
+    seconds = _best_of(repeats, run)
+    return {
+        "seconds": seconds,
+        "events": n_events,
+        "events_per_s": n_events / seconds if seconds > 0 else 0.0,
+        "params": {"n_events": n_events, "repeats": repeats},
+    }
+
+
+def bench_kernel_timers_dense(
+    n_events: int = 200_000, n_instants: int = 8, repeats: int = 3
+) -> Dict:
+    """All timers land on a handful of instants: the dense-bucket shape.
+
+    With ``n_events / n_instants`` entries per slot this isolates the
+    same-instant path — bucket append on schedule, in-place batch drain
+    on dispatch — with almost no key-heap traffic, which is the shape a
+    synchronized crowd's per-client timers put on the kernel.
+    """
+
+    def run() -> None:
+        sim = Simulator()
+        sink: List[float] = []
+        append = sink.append
+        for i in range(n_events):
+            sim.call_in(0.001 * (i % n_instants), lambda: append(0.0))
+        sim.run()
+        assert len(sink) == n_events
+
+    seconds = _best_of(repeats, run)
+    return {
+        "seconds": seconds,
+        "events": n_events,
+        "events_per_s": n_events / seconds if seconds > 0 else 0.0,
+        "params": {
+            "n_events": n_events,
+            "n_instants": n_instants,
+            "repeats": repeats,
+        },
+    }
+
+
+def bench_kernel_cancel_churn(n_events: int = 200_000, repeats: int = 3) -> Dict:
+    """Cancel-heavy dispatch: every firing supersedes a pending timer.
+
+    This is the fluid network's completion-timer pattern — each rate
+    recompute cancels the stale completion timer and arms a fresh one —
+    run pure: every tick cancels the decoy armed by the previous tick
+    and schedules both the next decoy (far future, never fires) and the
+    next tick.  Tombstones therefore accumulate at one cancellation per
+    event and the run loop must repeatedly compact the pending
+    structure mid-flight; the bench fails if the structure is ever
+    allowed to grow without bound, because wall time would go
+    quadratic.
+    """
+
+    def run() -> None:
+        sim = Simulator()
+        state: Dict = {"left": n_events, "victim": None}
+        noop = lambda: None  # noqa: E731
+
+        def tick() -> None:
+            state["left"] -= 1
+            victim = state["victim"]
+            if victim is not None:
+                victim.cancel()
+            if state["left"] > 0:
+                state["victim"] = sim.call_in(2.0, noop)
                 sim.call_in(0.001, tick)
 
         sim.call_in(0.001, tick)
@@ -385,6 +469,12 @@ def run_kernel_suite(quick: bool = False) -> Dict[str, Dict]:
     benches: Dict[str, Dict] = {
         f"kernel.timers{suffix}": bench_kernel_timers(n_events=n, repeats=repeats),
         f"kernel.cascade{suffix}": bench_kernel_cascade(n_events=n, repeats=repeats),
+        f"kernel.timers_dense{suffix}": bench_kernel_timers_dense(
+            n_events=n, repeats=repeats
+        ),
+        f"kernel.cancel_churn{suffix}": bench_kernel_cancel_churn(
+            n_events=n, repeats=repeats
+        ),
     }
     for flows in flow_points:
         benches[f"allocator.flows_{flows}{suffix}"] = bench_allocator(

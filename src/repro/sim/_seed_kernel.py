@@ -1,0 +1,303 @@
+"""FROZEN seed implementation of the simulation kernel — parity reference.
+
+This is a verbatim copy of ``repro/sim/kernel.py`` as of the pre-wheel
+seed (single ``(when, eid, obj)`` heap, float tuple comparisons).  It
+exists solely so the kernel differential property suite and the
+determinism-parity tests can replay identical operation sequences and
+whole worlds on both implementations and assert identical fire order,
+``now()`` trajectories, and world fingerprints.
+
+Do NOT optimise or "fix" this module; it must stay behaviourally
+identical to the seed.  The live implementation lives in
+``repro/sim/kernel.py``.
+
+Original seed docstring follows.
+
+---
+
+The discrete-event simulation kernel.
+
+:class:`Simulator` owns the simulated clock and the pending-event heap.
+Events are scheduled with :meth:`Simulator.schedule` and fire in
+timestamp order; ties break FIFO by insertion order so the simulation
+is fully deterministic for a given seed.
+
+Two kinds of entry live on the heap:
+
+- :class:`~repro.sim.events.Event` — the full synchronization object
+  (value, subscribers, failure propagation);
+- :class:`Timer` — the *fast path*: a bare callback with no value, no
+  subscriber list and no state machine.  ``call_at`` / ``call_in``
+  return Timers, and generator processes that ``yield`` a plain number
+  sleep on one.  A Timer costs one small allocation and one heap push,
+  which is what keeps timer-heavy layers (the fluid network's
+  completion timers, the coordinator's dispatch plan, the resource
+  monitor) off the allocator.
+
+The timestamp arithmetic is deliberately kept identical to the
+original Event-based path (``now + (when - now)`` for absolute
+scheduling) so refactors on top of the fast path stay byte-identical.
+
+**Allocation instants.**  :meth:`Simulator.at_instant_end` registers a
+callback to run once the current same-timestamp batch has fully
+drained, *before* the clock advances to the next pending timestamp.
+This is the hook the fluid network's end-of-instant allocation
+transaction rides on: any number of transfer joins/leaves at one
+simulated instant are folded into a single rate recompute.  Callbacks
+may schedule new work at the current instant (a flush can complete
+transfers whose cascades run at the same timestamp); the stepper keeps
+alternating batch-drain and instant-end callbacks until the instant is
+quiescent, then moves on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. re-triggering a fired event)."""
+
+
+class Timer:
+    """A scheduled bare callback — the fast-path timer handle.
+
+    ``cancel()`` is O(1): the heap entry stays where it is and fires as
+    a no-op, which is how the fluid network supersedes its completion
+    timer without leaking a closure per recompute.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Optional[Callable[[], Any]]) -> None:
+        self.fn = fn
+
+    def cancel(self) -> None:
+        """Disarm the timer; the pending heap entry becomes a no-op."""
+        self.fn = None
+
+    @property
+    def active(self) -> bool:
+        """True while the callback is still armed."""
+        return self.fn is not None
+
+
+class Simulator:
+    """Event loop with a simulated clock.
+
+    The clock unit is *seconds* throughout the library.  The simulator
+    is single-threaded and deterministic: two events scheduled for the
+    same instant fire in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list = []
+        self._eid = itertools.count()
+        self._running = False
+        #: callbacks to run when the current instant finishes draining
+        self._instant_cbs: list = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, event: "Event", delay: float = 0.0) -> None:
+        """Arrange for *event* to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._eid), event))
+
+    def _push_timer(self, delay: float, fn: Callable[[], Any]) -> Timer:
+        """Push a bare-callback heap entry; no Event machinery."""
+        timer = Timer(fn)
+        heapq.heappush(self._heap, (self._now + delay, next(self._eid), timer))
+        return timer
+
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Timer:
+        """Run ``fn()`` at absolute simulated time *when* (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self._now})"
+            )
+        return self._push_timer(when - self._now, fn)
+
+    def call_in(self, delay: float, fn: Callable[[], Any]) -> Timer:
+        """Run ``fn()`` after *delay* seconds of simulated time."""
+        return self.call_at(self._now + delay, fn)
+
+    def at_instant_end(self, fn: Callable[[], Any]) -> None:
+        """Run ``fn()`` once the current simulated instant has drained.
+
+        The callback fires after every already-pending event with the
+        current timestamp has been processed and before the clock
+        advances.  Callbacks run in registration order; a callback may
+        push new events at the current instant (they are drained before
+        the clock moves) and may register further instant-end
+        callbacks (they run after that drain).  One registration is
+        one call — periodic hooks must re-register themselves.
+        """
+        self._instant_cbs.append(fn)
+
+    def _run_instant_end(self) -> None:
+        """Fire the registered instant-end callbacks exactly once."""
+        cbs = self._instant_cbs
+        self._instant_cbs = []
+        for fn in cbs:
+            fn()
+
+    # -- factories ------------------------------------------------------
+
+    def event(self) -> "Event":
+        """Create an untriggered :class:`Event` bound to this simulator."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Timeout":
+        """Create a :class:`Timeout` that fires after *delay* seconds.
+
+        A Timeout is a full Event (it can join ``AllOf``/``AnyOf`` and
+        carry a value).  A process that only wants to sleep should
+        ``yield delay`` directly — that uses the :class:`Timer` fast
+        path instead.
+        """
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a simulation process from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- execution ------------------------------------------------------
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one pending event.
+
+        If that event completes the current instant (the next pending
+        timestamp differs, or the heap empties), any registered
+        instant-end callbacks run before ``step`` returns.  Note that
+        ``step`` does not mark the simulator as running, so components
+        that defer work to the instant boundary only while the loop is
+        live (the fluid network's allocation flush) fall back to their
+        eager per-mutation path under single-stepping — same results,
+        no coalescing.
+        """
+        when, _eid, obj = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        if obj.__class__ is Timer:
+            fn = obj.fn
+            if fn is not None:
+                obj.fn = None  # fired: the timer is no longer armed
+                fn()
+        else:
+            obj._fire()
+        while self._instant_cbs and (
+            not self._heap or self._heap[0][0] != self._now
+        ):
+            self._run_instant_end()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches *until*.
+
+        If *until* is given the clock is advanced exactly to *until*
+        even when the last event fires earlier, mirroring SimPy.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            pop = heapq.heappop
+            timer_cls = Timer
+            while True:
+                if self._instant_cbs and (not heap or heap[0][0] != self._now):
+                    # the current instant has fully drained: run its
+                    # end-of-instant transactions (which may push new
+                    # events at this very instant) before moving on
+                    self._run_instant_end()
+                    continue
+                if not heap:
+                    break
+                when = heap[0][0]
+                if until is not None and when > until:
+                    break
+                # batch the whole same-timestamp cascade: once an
+                # instant is admitted, drain it (and anything it
+                # schedules for the same instant) without re-checking
+                # `until`
+                self._now = when
+                while heap and heap[0][0] == when:
+                    _, _eid, obj = pop(heap)
+                    if obj.__class__ is timer_cls:
+                        fn = obj.fn
+                        if fn is not None:
+                            obj.fn = None  # fired: no longer armed
+                            fn()
+                    else:
+                        obj._fire()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_complete(self, process: "Process", limit: float = 1e9) -> Any:
+        """Run until *process* finishes; return its value (raise its error).
+
+        *limit* bounds runaway simulations; exceeding it raises
+        :class:`SimulationError`.  Shares the reentrancy guard with
+        :meth:`run` — the kernel has exactly one stepper.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            pop = heapq.heappop
+            timer_cls = Timer
+            while not process._processed:
+                if self._instant_cbs and (not heap or heap[0][0] != self._now):
+                    # end of the current instant: run its transactions
+                    # (they may push same-instant events) before either
+                    # advancing time or declaring a deadlock
+                    self._run_instant_end()
+                    continue
+                if not heap:
+                    raise SimulationError("deadlock: process pending but no events")
+                when = heap[0][0]
+                if when > limit:
+                    raise SimulationError(f"simulation exceeded time limit {limit}")
+                _, _eid, obj = pop(heap)
+                self._now = when
+                if obj.__class__ is timer_cls:
+                    fn = obj.fn
+                    if fn is not None:
+                        obj.fn = None  # fired: no longer armed
+                        fn()
+                else:
+                    obj._fire()
+            # the awaited process can finish mid-instant with
+            # end-of-instant transactions still queued (e.g. a network
+            # flush armed by its final mutation); run them before
+            # returning so post-run state is settled and re-armable
+            while self._instant_cbs:
+                self._run_instant_end()
+        finally:
+            self._running = False
+        if not process.ok:
+            raise process.exception  # type: ignore[misc]
+        return process.value

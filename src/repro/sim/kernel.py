@@ -1,25 +1,44 @@
 """The discrete-event simulation kernel.
 
-:class:`Simulator` owns the simulated clock and the pending-event heap.
-Events are scheduled with :meth:`Simulator.schedule` and fire in
-timestamp order; ties break FIFO by insertion order so the simulation
-is fully deterministic for a given seed.
+:class:`Simulator` owns the simulated clock and the pending-event
+structure.  Events are scheduled with :meth:`Simulator.schedule` and
+fire in timestamp order; ties break FIFO by insertion order so the
+simulation is fully deterministic for a given seed.
 
-Two kinds of entry live on the heap:
+Two kinds of entry live in the pending set:
 
 - :class:`~repro.sim.events.Event` — the full synchronization object
-  (value, subscribers, failure propagation);
-- :class:`Timer` — the *fast path*: a bare callback with no value, no
-  subscriber list and no state machine.  ``call_at`` / ``call_in``
-  return Timers, and generator processes that ``yield`` a plain number
-  sleep on one.  A Timer costs one small allocation and one heap push,
-  which is what keeps timer-heavy layers (the fluid network's
-  completion timers, the coordinator's dispatch plan, the resource
-  monitor) off the allocator.
+  (value, subscribers, failure propagation), stored wrapped as a
+  one-tuple ``(event,)``;
+- a bare callback — the *fast path*: no value, no subscriber list and
+  no state machine.  ``call_at`` / ``call_in`` schedule one and return
+  a :class:`~repro.sim.timerwheel.Timer` handle for it, and generator
+  processes that ``yield`` a plain number sleep on one.
+
+Pending entries live on a :class:`~repro.sim.timerwheel.TimerWheel`:
+a dict of slot buckets keyed by the exact float timestamp plus a
+min-heap of the occupied instants.  Dispatch therefore pays one bare
+float heap-compare per *instant* instead of one tuple-compare per
+*entry*, a same-instant batch drains with a plain list iteration, and
+— because the retained entry is the callback itself rather than a
+``(when, eid, obj)`` tuple plus a Timer object — the garbage
+collector's collection cadence and scan sizes drop to what the
+callbacks alone cost.  Cancellation replaces the pending entry with a
+no-op tombstone (the slot keeps its shape and the clock still visits
+the instant, exactly like the seed); once enough tombstones accumulate
+the wheel is compacted at the top of the run loop, so mass
+cancellation cannot grow the pending structure without bound.  See
+``timerwheel.py`` for the structure's invariants and why the slot key
+is the exact float timestamp rather than an integer-nanosecond
+quantization.
 
 The timestamp arithmetic is deliberately kept identical to the
 original Event-based path (``now + (when - now)`` for absolute
 scheduling) so refactors on top of the fast path stay byte-identical.
+The frozen pre-wheel kernel is kept verbatim in ``_seed_kernel.py``;
+the differential property suite in ``difftest.py`` replays random
+operation sequences on both and asserts identical observable
+behaviour.
 
 **Allocation instants.**  :meth:`Simulator.at_instant_end` registers a
 callback to run once the current same-timestamp batch has fully
@@ -35,36 +54,23 @@ quiescent, then moves on.
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
+
+from repro.sim.timerwheel import (
+    COMPACT_EPOCH_DELTA,
+    FIRED,
+    Timer,
+    TimerWheel,
+)
+
+__all__ = ["SimulationError", "Simulator", "Timer"]
+
+_new_timer = Timer.__new__
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. re-triggering a fired event)."""
-
-
-class Timer:
-    """A scheduled bare callback — the fast-path timer handle.
-
-    ``cancel()`` is O(1): the heap entry stays where it is and fires as
-    a no-op, which is how the fluid network supersedes its completion
-    timer without leaking a closure per recompute.
-    """
-
-    __slots__ = ("fn",)
-
-    def __init__(self, fn: Optional[Callable[[], Any]]) -> None:
-        self.fn = fn
-
-    def cancel(self) -> None:
-        """Disarm the timer; the pending heap entry becomes a no-op."""
-        self.fn = None
-
-    @property
-    def active(self) -> bool:
-        """True while the callback is still armed."""
-        return self.fn is not None
 
 
 class Simulator:
@@ -75,13 +81,33 @@ class Simulator:
     same instant fire in the order they were scheduled.
     """
 
+    __slots__ = (
+        "_now",
+        "_wheel",
+        "_slots",
+        "_keys",
+        "_timer_pool",
+        "_running",
+        "_instant_cbs",
+        "_cancel_seen",
+    )
+
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: list = []
-        self._eid = itertools.count()
+        wheel = TimerWheel()
+        self._wheel = wheel
+        # Hot-path aliases of the wheel's internals.  The wheel only
+        # ever mutates these in place (never rebinds), so the aliases
+        # — and the run loop's locals bound to them — stay valid
+        # across compactions.
+        self._slots = wheel.slots
+        self._keys = wheel.keys
+        self._timer_pool = wheel.pool
         self._running = False
         #: callbacks to run when the current instant finishes draining
         self._instant_cbs: list = []
+        #: Timer._cancel_epoch as of the last compaction scan
+        self._cancel_seen = Timer._cancel_epoch
 
     @property
     def now(self) -> float:
@@ -90,29 +116,136 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------
 
+    # The push sequence (slot lookup, lone-entry or list append, key
+    # heap push for a new instant) is inlined in each scheduling
+    # method: these are the hottest few lines in the library and one
+    # delegation per event costs more than the duplication saves.
+    # TimerWheel.push is the reference implementation.
+
     def schedule(self, event: "Event", delay: float = 0.0) -> None:
         """Arrange for *event* to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._eid), event))
+        when = self._now + delay
+        entry = (event,)
+        slots = self._slots
+        cur = slots.get(when)
+        if cur is None:
+            slots[when] = entry
+            heappush(self._keys, when)
+        elif cur.__class__ is list:
+            cur.append(entry)
+        else:
+            slots[when] = [cur, entry]
 
-    def _push_timer(self, delay: float, fn: Callable[[], Any]) -> Timer:
-        """Push a bare-callback heap entry; no Event machinery."""
-        timer = Timer(fn)
-        heapq.heappush(self._heap, (self._now + delay, next(self._eid), timer))
+    def _push_timer(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        _Timer: type = Timer,
+        _new: Callable = Timer.__new__,
+        _heappush: Callable = heappush,
+    ) -> Timer:
+        """Push a bare-callback entry; no Event machinery.
+
+        Process sleeps ride this path; the handle is drawn from the
+        wheel's arena when one is available (the sleep resume path
+        returns released handles there).
+        """
+        when = self._now + delay
+        pool = self._timer_pool
+        if pool:
+            timer = pool.pop()
+        else:
+            timer = _new(_Timer)
+            timer.sim = self
+        timer.when = when
+        timer.fn = fn
+        slots = self._slots
+        cur = slots.get(when)
+        if cur is None:
+            slots[when] = fn
+            _heappush(self._keys, when)
+        elif cur.__class__ is list:
+            cur.append(fn)
+        else:
+            slots[when] = [cur, fn]
         return timer
 
-    def call_at(self, when: float, fn: Callable[[], Any]) -> Timer:
-        """Run ``fn()`` at absolute simulated time *when* (>= now)."""
-        if when < self._now:
-            raise SimulationError(
-                f"call_at({when}) is in the past (now={self._now})"
-            )
-        return self._push_timer(when - self._now, fn)
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[[], Any],
+        _Timer: type = Timer,
+        _new: Callable = Timer.__new__,
+        _heappush: Callable = heappush,
+    ) -> Timer:
+        """Run ``fn()`` at absolute simulated time *when* (>= now).
 
-    def call_in(self, delay: float, fn: Callable[[], Any]) -> Timer:
-        """Run ``fn()`` after *delay* seconds of simulated time."""
-        return self.call_at(self._now + delay, fn)
+        (The trailing defaults pre-bind globals; do not pass them.)
+        """
+        now = self._now
+        if when < now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={now})"
+            )
+        # seed-identical arithmetic: absolute times take the same
+        # now + (when - now) roundtrip as the original delay path
+        when = now + (when - now)
+        timer = _new(_Timer)
+        timer.sim = self
+        timer.when = when
+        timer.fn = fn
+        slots = self._slots
+        cur = slots.get(when)
+        if cur is None:
+            slots[when] = fn
+            _heappush(self._keys, when)
+        elif cur.__class__ is list:
+            cur.append(fn)
+        else:
+            slots[when] = [cur, fn]
+        return timer
+
+    def call_in(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        _Timer: type = Timer,
+        _new: Callable = Timer.__new__,
+        _heappush: Callable = heappush,
+    ) -> Timer:
+        """Run ``fn()`` after *delay* seconds of simulated time.
+
+        (The trailing defaults pre-bind globals; do not pass them.)
+        """
+        now = self._now
+        when = now + delay
+        if when < now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={now})"
+            )
+        # The seed computed now + ((now + delay) - now).  For
+        # non-negative now and delay that roundtrip is an identity
+        # (Fast2Sum exactness: the rounded difference re-adds to the
+        # rounded sum for same-sign operands), so the slot key is
+        # taken directly; call_at keeps the explicit roundtrip because
+        # its absolute input is arbitrary.  The differential suite
+        # exercises this with adversarial float palettes.
+        timer = _new(_Timer)
+        timer.sim = self
+        timer.when = when
+        timer.fn = fn
+        slots = self._slots
+        cur = slots.get(when)
+        if cur is None:
+            slots[when] = fn
+            _heappush(self._keys, when)
+        elif cur.__class__ is list:
+            cur.append(fn)
+        else:
+            slots[when] = [cur, fn]
+        return timer
 
     def at_instant_end(self, fn: Callable[[], Any]) -> None:
         """Run ``fn()`` once the current simulated instant has drained.
@@ -130,9 +263,24 @@ class Simulator:
     def _run_instant_end(self) -> None:
         """Fire the registered instant-end callbacks exactly once."""
         cbs = self._instant_cbs
-        self._instant_cbs = []
-        for fn in cbs:
+        pending = cbs[:]
+        # cleared in place: the run loops hold a local alias
+        del cbs[:]
+        for fn in pending:
             fn()
+
+    # -- maintenance ----------------------------------------------------
+
+    def compact(self) -> int:
+        """Reclaim cancelled timers from the pending structure.
+
+        Runs automatically at the top of the run loops once enough
+        cancellations accumulate; call it directly to reclaim eagerly
+        between runs.  Returns the number of entries removed.
+        """
+        removed = self._wheel.compact()
+        self._cancel_seen = Timer._cancel_epoch
+        return removed
 
     # -- factories ------------------------------------------------------
 
@@ -147,7 +295,7 @@ class Simulator:
 
         A Timeout is a full Event (it can join ``AllOf``/``AnyOf`` and
         carry a value).  A process that only wants to sleep should
-        ``yield delay`` directly — that uses the :class:`Timer` fast
+        ``yield delay`` directly — that uses the bare-callback fast
         path instead.
         """
         from repro.sim.events import Timeout
@@ -164,13 +312,13 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` if empty."""
-        return self._heap[0][0] if self._heap else None
+        return self._keys[0] if self._keys else None
 
     def step(self) -> None:
         """Process exactly one pending event.
 
         If that event completes the current instant (the next pending
-        timestamp differs, or the heap empties), any registered
+        timestamp differs, or the pending set empties), any registered
         instant-end callbacks run before ``step`` returns.  Note that
         ``step`` does not mark the simulator as running, so components
         that defer work to the instant boundary only while the loop is
@@ -178,24 +326,31 @@ class Simulator:
         eager per-mutation path under single-stepping — same results,
         no coalescing.
         """
-        when, _eid, obj = heapq.heappop(self._heap)
+        keys = self._keys
+        slots = self._slots
+        when = keys[0]  # IndexError when empty, like the seed's heappop
         if when < self._now:
             raise SimulationError("event heap corrupted: time went backwards")
-        self._now = when
-        if obj.__class__ is Timer:
-            fn = obj.fn
-            if fn is not None:
-                obj.fn = None  # fired: the timer is no longer armed
-                fn()
+        bucket = slots[when]
+        if bucket.__class__ is list:
+            obj = bucket.pop(0)
+            if not bucket:
+                del slots[when]
+                heappop(keys)
         else:
-            obj._fire()
-        while self._instant_cbs and (
-            not self._heap or self._heap[0][0] != self._now
-        ):
+            obj = bucket
+            del slots[when]
+            heappop(keys)
+        self._now = when
+        if obj.__class__ is tuple:
+            obj[0]._fire()
+        else:
+            obj()
+        while self._instant_cbs and (not keys or keys[0] != self._now):
             self._run_instant_end()
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock reaches *until*.
+        """Run until the pending set drains or the clock reaches *until*.
 
         If *until* is given the clock is advanced exactly to *until*
         even when the last event fires earlier, mirroring SimPy.
@@ -204,35 +359,54 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
-            heap = self._heap
-            pop = heapq.heappop
+            slots = self._slots
+            keys = self._keys
+            icbs = self._instant_cbs
+            pop = heappop
             timer_cls = Timer
+            cancel_seen = self._cancel_seen
             while True:
-                if self._instant_cbs and (not heap or heap[0][0] != self._now):
+                if icbs and (not keys or keys[0] != self._now):
                     # the current instant has fully drained: run its
                     # end-of-instant transactions (which may push new
                     # events at this very instant) before moving on
                     self._run_instant_end()
                     continue
-                if not heap:
+                if timer_cls._cancel_epoch - cancel_seen > COMPACT_EPOCH_DELTA:
+                    # instant boundary: safe point to reap tombstones
+                    self.compact()
+                    cancel_seen = self._cancel_seen
+                    continue
+                if not keys:
                     break
-                when = heap[0][0]
+                when = keys[0]
                 if until is not None and when > until:
                     break
-                # batch the whole same-timestamp cascade: once an
-                # instant is admitted, drain it (and anything it
-                # schedules for the same instant) without re-checking
-                # `until`
                 self._now = when
-                while heap and heap[0][0] == when:
-                    _, _eid, obj = pop(heap)
-                    if obj.__class__ is timer_cls:
-                        fn = obj.fn
-                        if fn is not None:
-                            obj.fn = None  # fired: no longer armed
-                            fn()
+                bucket = slots[when]
+                if bucket.__class__ is list:
+                    # drained in place: same-instant work pushed by a
+                    # callback appends to this very bucket and the
+                    # iterator picks it up, preserving the seed's
+                    # insertion-order tie-break; a same-instant cancel
+                    # scans the bucket backwards, so it reaches the
+                    # pending copy of a callback, never a fired one
+                    for obj in bucket:
+                        if obj.__class__ is tuple:
+                            obj[0]._fire()
+                        else:
+                            obj()
+                    del slots[when]
+                    pop(keys)
+                else:
+                    # lone entry: release the slot first so a cancel
+                    # from inside the callback is the seed's no-op
+                    del slots[when]
+                    pop(keys)
+                    if bucket.__class__ is tuple:
+                        bucket[0]._fire()
                     else:
-                        obj._fire()
+                        bucket()
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -249,30 +423,53 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
-            heap = self._heap
-            pop = heapq.heappop
+            slots = self._slots
+            keys = self._keys
+            icbs = self._instant_cbs
+            pop = heappop
+            fired = FIRED
             timer_cls = Timer
             while not process._processed:
-                if self._instant_cbs and (not heap or heap[0][0] != self._now):
+                if icbs and (not keys or keys[0] != self._now):
                     # end of the current instant: run its transactions
                     # (they may push same-instant events) before either
                     # advancing time or declaring a deadlock
                     self._run_instant_end()
                     continue
-                if not heap:
+                if timer_cls._cancel_epoch - self._cancel_seen > COMPACT_EPOCH_DELTA:
+                    self.compact()
+                    continue
+                if not keys:
                     raise SimulationError("deadlock: process pending but no events")
-                when = heap[0][0]
+                when = keys[0]
                 if when > limit:
                     raise SimulationError(f"simulation exceeded time limit {limit}")
-                _, _eid, obj = pop(heap)
                 self._now = when
-                if obj.__class__ is timer_cls:
-                    fn = obj.fn
-                    if fn is not None:
-                        obj.fn = None  # fired: no longer armed
-                        fn()
+                bucket = slots[when]
+                if bucket.__class__ is list:
+                    for i, obj in enumerate(bucket):
+                        bucket[i] = fired
+                        if obj.__class__ is tuple:
+                            obj[0]._fire()
+                        else:
+                            obj()
+                        if process._processed:
+                            # the awaited process finished mid-batch:
+                            # the unfired suffix stays parked in its
+                            # slot (behind FIRED markers a later run
+                            # drains as no-ops), exactly the entries
+                            # the seed would leave on its heap
+                            break
+                    else:
+                        del slots[when]
+                        pop(keys)
                 else:
-                    obj._fire()
+                    del slots[when]
+                    pop(keys)
+                    if bucket.__class__ is tuple:
+                        bucket[0]._fire()
+                    else:
+                        bucket()
             # the awaited process can finish mid-instant with
             # end-of-instant transactions still queued (e.g. a network
             # flush armed by its final mutation); run them before

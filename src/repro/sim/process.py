@@ -123,7 +123,19 @@ class Process(Event):
         self._wait_on(target)
 
     def _resume_from_sleep(self) -> None:
+        timer = self._sleep_timer
         self._sleep_timer = None
+        if timer is not None:
+            # The kernel has already released this entry (it only
+            # calls us after popping it), and nothing else holds the
+            # handle, so the timer is safe to recycle through the
+            # wheel's arena.  Public call_at/call_in handles are never
+            # pooled — user code may keep them.  getattr: the frozen
+            # seed kernel used by the parity suite has no pool.
+            pool = getattr(self.sim, "_timer_pool", None)
+            if pool is not None:
+                timer.fn = None  # drop the callback ref while parked
+                pool.append(timer)
         self._resume(_SLEEP_WAKE)
 
     def _wait_on(self, target: Any) -> None:

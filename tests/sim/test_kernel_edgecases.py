@@ -1,0 +1,360 @@
+"""Edge-case units for the timer-wheel kernel internals.
+
+The differential suite (`test_kernel_differential.py`) asserts the
+wheel is observably seed-identical; these tests pin the wheel-specific
+mechanics the seed never had — tombstone/epoch accounting, compaction
+bounds, the handle arena, FIRED-marker parking — plus the seed-parity
+corners called out in the kernel contract (cancel idempotency,
+same-instant batching across all three drive loops, reentrancy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.timerwheel import (
+    COMPACT_EPOCH_DELTA,
+    FIRED,
+    TOMBSTONE,
+    Timer,
+    TimerWheel,
+)
+
+
+# -- cancellation accounting -------------------------------------------------
+
+
+def test_cancel_is_idempotent_and_bumps_epoch_once() -> None:
+    sim = Simulator()
+    timer = sim.call_in(1.0, lambda: None)
+    before = Timer._cancel_epoch
+    timer.cancel()
+    timer.cancel()
+    timer.cancel()
+    assert Timer._cancel_epoch == before + 1
+    assert not timer.active
+
+
+def test_cancel_after_fire_is_a_noop() -> None:
+    sim = Simulator()
+    fired = []
+    timer = sim.call_in(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+    before = Timer._cancel_epoch
+    timer.cancel()  # slot already drained: nothing to tombstone
+    assert Timer._cancel_epoch == before
+    assert not timer.active
+
+
+def test_cancelled_lone_instant_still_advances_clock() -> None:
+    # seed parity: a cancelled timer's instant is still visited
+    sim = Simulator()
+    sim.call_in(1.0, lambda: None).cancel()
+    sim.run()
+    assert sim.now == 1.0
+
+
+def test_cancel_duplicate_callback_tombstones_both_copies() -> None:
+    # the same function object scheduled twice at one instant: each
+    # handle must kill its own copy (cancel scans backwards, so the
+    # second handle reaches the second copy first)
+    sim = Simulator()
+    fired = []
+
+    def cb() -> None:
+        fired.append(sim.now)
+
+    t1 = sim.call_in(1.0, cb)
+    t2 = sim.call_in(1.0, cb)
+    before = Timer._cancel_epoch
+    t2.cancel()
+    t1.cancel()
+    assert Timer._cancel_epoch == before + 2
+    sim.run()
+    assert fired == []
+    assert sim.now == 1.0
+
+
+def test_cancel_pending_entry_from_same_instant_callback() -> None:
+    sim = Simulator()
+    fired = []
+    handles = {}
+
+    def killer() -> None:
+        fired.append("killer")
+        handles["victim"].cancel()
+
+    sim.call_in(1.0, killer)
+    handles["victim"] = sim.call_in(1.0, lambda: fired.append("victim"))
+    sim.call_in(1.0, lambda: fired.append("bystander"))
+    sim.run()
+    assert fired == ["killer", "bystander"]
+
+
+def test_active_tracks_pending_state() -> None:
+    sim = Simulator()
+    lone = sim.call_in(1.0, lambda: None)
+    dense_a = sim.call_in(2.0, lambda: None)
+    dense_b = sim.call_in(2.0, lambda: None)
+    assert lone.active and dense_a.active and dense_b.active
+    dense_a.cancel()
+    assert not dense_a.active
+    assert dense_b.active  # sibling copy untouched
+    sim.run()
+    assert not lone.active and not dense_b.active
+
+
+# -- compaction: mass-cancel stays bounded -----------------------------------
+
+
+def test_mass_cancel_is_reclaimed_by_run_loop() -> None:
+    sim = Simulator()
+    n = COMPACT_EPOCH_DELTA + 500
+    # half dense (one far-future instant), half lone (distinct instants)
+    handles = [sim.call_in(50.0, lambda: None) for _ in range(n // 2)]
+    handles += [sim.call_in(100.0 + i, lambda: None) for i in range(n - n // 2)]
+    assert len(sim._wheel) == n
+    for handle in handles:
+        handle.cancel()
+    # everything pending is a tombstone; the run loop's epoch check
+    # compacts before dispatching, so the wheel empties without the
+    # clock grinding through thousands of dead instants
+    sim.run()
+    stats = sim._wheel.stats()
+    assert stats["entries"] == 0
+    assert stats["slots"] == 0
+    assert len(sim._keys) == 0
+    assert sim._cancel_seen == Timer._cancel_epoch
+
+
+def test_explicit_compact_preserves_survivors_and_order() -> None:
+    sim = Simulator()
+    fired = []
+    keep_a = sim.call_in(1.0, lambda: fired.append("a1"))
+    sim.call_in(1.0, lambda: fired.append("dead")).cancel()
+    sim.call_in(1.0, lambda: fired.append("a2"))
+    sim.call_in(2.0, lambda: None).cancel()  # lone tombstone: slot drops
+    sim.call_in(3.0, lambda: fired.append("b"))
+    removed = sim.compact()
+    assert removed == 2
+    stats = sim._wheel.stats()
+    assert stats["tombstones"] == 0
+    assert stats["live"] == 3
+    assert keep_a.active
+    sim.run()
+    assert fired == ["a1", "a2", "b"]
+    # compaction dropped instant 2.0 entirely, so the clock never
+    # visits it (documented divergence from leaving tombstones in
+    # place; only reachable via explicit compact() or >1024 cancels)
+    assert sim.now == 3.0
+
+
+def test_compact_unwraps_single_survivor_bucket() -> None:
+    wheel = TimerWheel()
+    wheel.push(1.0, TOMBSTONE)
+    survivor = lambda: None  # noqa: E731
+    wheel.push(1.0, survivor)
+    wheel.push(1.0, FIRED)
+    assert wheel.compact() == 2
+    assert wheel.slots[1.0] is survivor  # demoted back to a lone entry
+    assert wheel.keys == [1.0]
+
+
+# -- same-instant batching across all drive loops ----------------------------
+
+
+def _batch_scenario(sim: Simulator) -> list:
+    log: list = []
+    sim.call_in(1.0, lambda: log.append(("t1", sim.now)))
+    event = sim.event()
+    event.subscribe(lambda _ev: log.append(("ev", sim.now)))
+    event.succeed(delay=1.0)
+    sim.call_in(1.0, lambda: log.append(("t2", sim.now)))
+    sim.call_in(1.0, lambda: sim.at_instant_end(lambda: log.append(("icb", sim.now))))
+    sim.call_in(2.0, lambda: log.append(("later", sim.now)))
+    return log
+
+
+EXPECTED_BATCH = [
+    ("t1", 1.0),
+    ("ev", 1.0),
+    ("t2", 1.0),
+    ("icb", 1.0),
+    ("later", 2.0),
+]
+
+
+def test_same_instant_batch_order_under_run() -> None:
+    sim = Simulator()
+    log = _batch_scenario(sim)
+    sim.run()
+    assert log == EXPECTED_BATCH
+
+
+def test_same_instant_batch_order_under_step() -> None:
+    sim = Simulator()
+    log = _batch_scenario(sim)
+    while sim.peek() is not None:
+        sim.step()
+    assert log == EXPECTED_BATCH
+
+
+def test_same_instant_batch_order_under_run_until_complete() -> None:
+    sim = Simulator()
+    log = _batch_scenario(sim)
+
+    def body():
+        yield 3.0
+
+    sim.run_until_complete(sim.process(body()))
+    assert log == EXPECTED_BATCH
+
+
+# -- run_until_complete mid-batch parking ------------------------------------
+
+
+def test_ruc_parks_unfired_same_instant_remainder() -> None:
+    # work scheduled *after* the awaited process completes (by its
+    # completion subscribers, at the same instant) must not run during
+    # run_until_complete, but must survive, parked, for a later run()
+    sim = Simulator()
+    log: list = []
+
+    def body():
+        yield 1.0
+
+    proc = sim.process(body())
+    proc.subscribe(lambda _ev: sim.call_in(0.0, lambda: log.append(("parked", sim.now))))
+    sim.run_until_complete(proc)
+    assert log == []  # not fired during ruc
+    assert sim.peek() == 1.0  # still pending at its instant
+    sim.run()
+    assert log == [("parked", 1.0)]  # fired at the original instant
+
+
+def test_ruc_abandoned_bucket_never_refires() -> None:
+    # entries dispatched before the awaited process finished are
+    # FIRED-marked; a later run() over the leftover bucket must not
+    # run them again
+    sim = Simulator()
+    log: list = []
+    sim.call_in(1.0, lambda: log.append("before"))
+
+    def body():
+        yield 1.0
+
+    proc = sim.process(body())
+    proc.subscribe(lambda _ev: sim.call_in(0.0, lambda: log.append("after")))
+    sim.run_until_complete(proc)
+    assert log == ["before"]
+    sim.run()
+    assert log == ["before", "after"]
+
+
+# -- handle arena ------------------------------------------------------------
+
+
+def test_process_sleep_handles_are_pooled_and_reused() -> None:
+    sim = Simulator()
+
+    def sleeper():
+        yield 0.5
+        yield 0.5
+
+    sim.run_until_complete(sim.process(sleeper()))
+    pool = sim._timer_pool
+    assert len(pool) >= 1
+    recycled = pool[-1]
+    assert recycled.fn is None  # parked handles hold no callback
+
+    def sleeper2():
+        yield 0.25
+
+    sim.run_until_complete(sim.process(sleeper2()))
+    # the second process drew its sleep handle from the arena and
+    # returned it on wake
+    assert pool[-1] is recycled
+
+
+def test_public_handles_are_never_pooled() -> None:
+    sim = Simulator()
+    timer = sim.call_in(1.0, lambda: None)
+    sim.run()
+    assert timer not in sim._timer_pool
+
+
+# -- guards and misc ---------------------------------------------------------
+
+
+def test_run_reentrancy_guard_from_callback() -> None:
+    sim = Simulator()
+    caught: list = []
+
+    def reenter() -> None:
+        try:
+            sim.run()
+        except SimulationError as err:
+            caught.append(str(err))
+
+    sim.call_in(1.0, reenter)
+    sim.run()
+    assert caught == ["run() is not reentrant"]
+
+
+def test_ruc_reentrancy_guard_from_callback() -> None:
+    sim = Simulator()
+    caught: list = []
+
+    def body():
+        yield 1.0
+
+    proc = sim.process(body())
+
+    def reenter() -> None:
+        try:
+            sim.run_until_complete(proc)
+        except SimulationError as err:
+            caught.append(str(err))
+
+    sim.call_in(0.5, reenter)
+    sim.run_until_complete(proc)
+    assert caught == ["run() is not reentrant"]
+
+
+def test_step_on_empty_raises_indexerror() -> None:
+    # seed parity: heappop on an empty heap raised IndexError
+    sim = Simulator()
+    with pytest.raises(IndexError):
+        sim.step()
+
+
+def test_negative_delay_rejected_with_seed_message() -> None:
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_at(-0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(sim.event(), -0.5)
+
+
+def test_wheel_reference_push_matches_kernel_inline_push() -> None:
+    # TimerWheel.push is the documented reference for the inlined
+    # scheduling fast paths: both must build identical structures
+    sim = Simulator()
+    fn_a, fn_b, fn_c = (lambda: None), (lambda: None), (lambda: None)
+    sim.call_in(1.0, fn_a)
+    sim.call_in(1.0, fn_b)
+    sim.call_in(2.0, fn_c)
+
+    wheel = TimerWheel()
+    wheel.push(1.0, fn_a)
+    wheel.push(1.0, fn_b)
+    wheel.push(2.0, fn_c)
+
+    assert wheel.slots == sim._slots
+    assert sorted(wheel.keys) == sorted(sim._keys)
+    assert wheel.peek() == sim.peek() == 1.0
+    assert len(wheel) == len(sim._wheel) == 3
