@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.campaign.executor import run_campaign
+from repro.campaign.executor import iter_campaign
 from repro.campaign.spec import CampaignSpec
 from repro.core.config import MFCConfig
 from repro.core.records import MFCResult, StageOutcome
@@ -184,25 +184,35 @@ def run_stage_study(
     jobs: Optional[int] = None,
     cache_path: Optional[Union[str, Path]] = None,
     progress: bool = False,
+    batch: Optional[int] = None,
 ) -> StudyResult:
     """Measure one stage against every site in a population.
 
     Each site gets its own deterministic world seeded from *seed* and
     its index, so studies parallelize trivially and re-run exactly:
-    *jobs* > 1 fans the sites over worker processes and returns
-    measurements identical to the sequential path.  *cache_path*
-    points the underlying campaign at a JSONL result store, making an
-    interrupted study resumable and repeat runs free.
+    *jobs* > 1 fans the sites over worker processes (*batch* worlds
+    per worker task, auto-sized by default) and returns measurements
+    identical to the sequential path.  *cache_path* points the
+    underlying campaign at a result store — a ``.jsonl`` file or a
+    shard directory — making an interrupted study resumable and
+    repeat runs free.
+
+    Aggregation streams: each outcome is reduced to its few-field
+    :class:`SiteMeasurement` as it lands and the decoded result is
+    dropped, so a 100k-site study holds measurements, not 100k full
+    experiment records.
     """
     config = config if config is not None else MFCConfig()
     fleet_spec = fleet_spec if fleet_spec is not None else FleetSpec()
     spec = CampaignSpec.for_study(
         sites, stage, config=config, fleet_spec=fleet_spec, seed=seed
     )
-    outcomes = run_campaign(
-        spec, jobs=jobs, store=cache_path, progress=progress
-    )
+    measurements: List[Optional[SiteMeasurement]] = [None] * len(sites)
+    for outcome in iter_campaign(
+        spec, jobs=jobs, store=cache_path, progress=progress, batch=batch
+    ):
+        index = outcome.meta["index"]
+        measurements[index] = _measure(sites[index], stage, outcome.result)
     result = StudyResult(stage=stage)
-    for site, outcome in zip(sites, outcomes):
-        result.measurements.append(_measure(site, stage, outcome.result))
+    result.measurements.extend(m for m in measurements if m is not None)
     return result

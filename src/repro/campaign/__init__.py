@@ -18,7 +18,14 @@ into *campaigns*:
 """
 
 from repro.campaign.codec import FULL, SUMMARY, decode_result, encode_result
-from repro.campaign.executor import JobOutcome, execute_job, run_campaign
+from repro.campaign.executor import (
+    JobOutcome,
+    auto_batch_size,
+    estimate_job_cost,
+    execute_job,
+    iter_campaign,
+    run_campaign,
+)
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import (
     SEED_STRIDE,
@@ -38,10 +45,13 @@ __all__ = [
     "JobSpec",
     "ProgressReporter",
     "ResultStore",
+    "auto_batch_size",
     "decode_result",
     "derive_site_seed",
     "encode_result",
+    "estimate_job_cost",
     "execute_job",
+    "iter_campaign",
     "run_campaign",
     "stable_key",
 ]

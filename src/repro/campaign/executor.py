@@ -1,15 +1,31 @@
-"""Campaign execution: sequential fallback and a process pool.
+"""Campaign execution: sequential fallback, per-job pool, batched pool.
 
 Every job rebuilds its world from scratch inside ``execute_job`` with
 an explicit seed, so a job's result is a pure function of its
 :class:`~repro.campaign.spec.JobSpec` — running jobs in parallel, in
-any order, or resuming from a half-finished store yields results
-identical to the sequential loop.
+any order, batched or not, or resuming from a half-finished store
+yields results identical to the sequential loop.
 
 The parent process is the only writer of the result store: workers
 return encoded results over the pool's pipe and the parent appends
 them as they complete, so an interrupted campaign keeps every job
 finished before the kill.
+
+Dispatch granularity is the 100k-world lever.  ``batch=1`` submits one
+pool task per job — the historical per-job path, whose per-task
+future/IPC bookkeeping and per-record ``fsync`` dominate once jobs
+shrink to milliseconds.  ``batch=None`` (auto) packs many small jobs
+into each worker task, sized by :func:`estimate_job_cost` so a batch
+amortizes the fixed dispatch cost without starving workers; the store
+then commits one fsync'd write per batch instead of per record.  The
+commit point is unchanged — a kill mid-batch loses only the lines not
+yet fully written, and a resume re-runs exactly those jobs.
+
+:func:`iter_campaign` is the streaming form: it yields each
+:class:`JobOutcome` as it lands (cached hits first, fresh results in
+completion order) so population-scale aggregations never hold every
+decoded result in memory.  :func:`run_campaign` keeps the historical
+contract — a list in campaign order.
 """
 
 from __future__ import annotations
@@ -17,15 +33,25 @@ from __future__ import annotations
 import importlib
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.codec import SUMMARY, decode_result, encode_result
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import ResultStore
 from repro.core.runner import MFCRunner
+
+#: cost units one auto-sized batch aims for (~ simulated requests); a
+#: 100k-micro-world campaign packs hundreds of jobs per task while a
+#: grid of full §5 worlds stays at one job per task
+TARGET_BATCH_COST = 4_000.0
+#: auto batch size clamp — dispatch amortization saturates well before
+#: the upper bound, and huge batches would delay commits/progress
+MAX_BATCH_SIZE = 256
+#: assumed cost of a callable job (unknown work: keep batches small)
+FUNC_JOB_COST = TARGET_BATCH_COST
 
 
 @dataclass
@@ -62,11 +88,68 @@ def execute_job(job: JobSpec, detail: str = SUMMARY) -> Dict:
     return encode_result(runner.run(time_limit_s=job.time_limit_s), detail)
 
 
+def estimate_job_cost(job: JobSpec) -> float:
+    """Rough relative cost of one job, in simulated-request units.
+
+    An MFC world's wall time scales with how many requests its crowd
+    ramp issues, which is roughly ``fleet size × crowd cap``.  The
+    estimate only steers batch sizing — it need not be accurate, just
+    monotone enough that micro-worlds batch by the hundred while
+    full-size study worlds keep one-job batches.
+    """
+    if job.func is not None:
+        return FUNC_JOB_COST
+    if job.world is not None:
+        n_clients = job.world.fleet.n_clients
+        max_crowd = job.world.config.max_crowd
+    else:
+        n_clients = job.fleet_spec.n_clients if job.fleet_spec is not None else 65
+        max_crowd = job.config.max_crowd if job.config is not None else 50
+    return float(max(n_clients * max_crowd, 1))
+
+
+def auto_batch_size(jobs: Sequence[JobSpec], workers: int) -> int:
+    """Jobs per worker task for *jobs* spread over *workers* processes.
+
+    Packs ``TARGET_BATCH_COST`` estimated units per task, clamped to
+    ``[1, MAX_BATCH_SIZE]`` and further capped so every worker sees at
+    least a few tasks (load balancing beats amortization once batches
+    get that large).
+    """
+    if not jobs:
+        return 1
+    mean_cost = sum(estimate_job_cost(job) for job in jobs) / len(jobs)
+    size = int(TARGET_BATCH_COST / max(mean_cost, 1.0))
+    balance_cap = max(1, len(jobs) // (max(workers, 1) * 4))
+    return max(1, min(size, MAX_BATCH_SIZE, balance_cap))
+
+
 def _pool_worker(job: JobSpec, detail: str) -> Tuple[str, Dict, float]:
-    """Process-pool entry point: (key, encoded result, elapsed)."""
+    """Per-job pool entry point: (key, encoded result, elapsed)."""
     started = time.monotonic()
     encoded = execute_job(job, detail)
     return job.key, encoded, time.monotonic() - started
+
+
+def _pool_worker_batch(
+    jobs: List[JobSpec], detail: str
+) -> Tuple[List[Tuple[str, Dict, float]], Optional[BaseException]]:
+    """Batched pool entry point: finished results + the first error.
+
+    A job failure does not discard the batch's earlier results — they
+    travel back with the error so the parent commits them before the
+    failure propagates, keeping resume granularity per-job even under
+    batched dispatch.
+    """
+    results: List[Tuple[str, Dict, float]] = []
+    for job in jobs:
+        started = time.monotonic()
+        try:
+            encoded = execute_job(job, detail)
+        except BaseException as exc:  # noqa: BLE001 - re-raised by parent
+            return results, exc
+        results.append((job.key, encoded, time.monotonic() - started))
+    return results, None
 
 
 def _record(job: JobSpec, encoded: Dict, detail: str, elapsed_s: float) -> Dict:
@@ -80,22 +163,37 @@ def _record(job: JobSpec, encoded: Dict, detail: str, elapsed_s: float) -> Dict:
     }
 
 
-def run_campaign(
+def _outcome(job: JobSpec, record: Dict, cached: bool) -> JobOutcome:
+    return JobOutcome(
+        job=job,
+        result=decode_result(record["result"]),
+        elapsed_s=record.get("elapsed_s", 0.0),
+        cached=cached,
+    )
+
+
+def iter_campaign(
     spec: Union[CampaignSpec, Sequence[JobSpec]],
     jobs: Optional[int] = None,
     store: Optional[Union[ResultStore, str, Path]] = None,
     detail: str = SUMMARY,
     progress: Union[bool, ProgressReporter] = False,
-) -> List[JobOutcome]:
-    """Run every job of *spec*; return outcomes in campaign order.
+    batch: Optional[int] = None,
+) -> Iterator[JobOutcome]:
+    """Run every job of *spec*, yielding outcomes as they land.
 
-    *jobs* > 1 fans pending work over a ``ProcessPoolExecutor``;
-    ``None``/1 runs the sequential fallback in this process — the two
-    paths produce identical results because every job world is
-    deterministic in its spec.  *store* (a :class:`ResultStore` or a
-    JSONL path) makes the campaign resumable: jobs whose key is
-    already stored are returned from cache without recomputation.
-    Jobs sharing a key (identical parameters) execute once.
+    The streaming counterpart of :func:`run_campaign`: cached jobs are
+    yielded up front, fresh jobs as their results commit (completion
+    order under a pool, campaign order sequentially), and jobs sharing
+    a key yield right after the one execution that serves them.  Every
+    job of the campaign yields exactly one outcome; the order across
+    the whole run is unspecified, so aggregations should key on
+    ``outcome.meta``.  Nothing holds more than one decoded result at a
+    time on the consumer's behalf — this is the ≥100k-job path.
+
+    *batch* sets how many jobs ride in one worker task (default: auto
+    by estimated job cost; 1 reproduces the historical per-job
+    dispatch, byte-identical results either way).
     """
     if isinstance(spec, CampaignSpec):
         job_list = spec.expand()
@@ -105,14 +203,22 @@ def run_campaign(
         label = "campaign"
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
+    if batch is not None and batch < 1:
+        raise ValueError(f"batch must be >= 1: {batch}")
 
     fresh: List[JobSpec] = []  # first job per not-yet-stored key
+    #: jobs whose key some earlier fresh job computes (yield on land)
+    deferred: Dict[str, List[JobSpec]] = {}
+    cached: List[JobSpec] = []
     seen_keys = set()
     for job in job_list:
-        if job.key in seen_keys or store.get(job.key, detail) is not None:
-            continue
-        seen_keys.add(job.key)
-        fresh.append(job)
+        if job.key in seen_keys:
+            deferred.setdefault(job.key, []).append(job)
+        elif store.get(job.key, detail) is not None:
+            cached.append(job)
+        else:
+            seen_keys.add(job.key)
+            fresh.append(job)
 
     reporter: Optional[ProgressReporter]
     if isinstance(progress, ProgressReporter):
@@ -124,8 +230,20 @@ def run_campaign(
     if reporter is not None:
         reporter.start(cached=len(job_list) - len(fresh))
 
+    for job in cached:
+        yield _outcome(job, store.get(job.key, detail), cached=True)
+
+    def land(job: JobSpec) -> Iterator[JobOutcome]:
+        record = store.get(job.key, detail)
+        if record is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"job {job.job_id!r} finished without a record")
+        yield _outcome(job, record, cached=False)
+        for twin in deferred.pop(job.key, ()):
+            yield _outcome(twin, record, cached=True)
+
     if jobs is not None and jobs > 1 and len(fresh) > 1:
-        _run_pool(fresh, jobs, store, detail, reporter)
+        for done_job in _run_pool(fresh, jobs, store, detail, reporter, batch):
+            yield from land(done_job)
     else:
         for job in fresh:
             started = time.monotonic()
@@ -133,24 +251,66 @@ def run_campaign(
             store.append(_record(job, encoded, detail, time.monotonic() - started))
             if reporter is not None:
                 reporter.job_done()
+            yield from land(job)
     if reporter is not None:
         reporter.finish()
 
-    executed_ids = {id(job) for job in fresh}
-    outcomes: List[JobOutcome] = []
-    for job in job_list:
-        record = store.get(job.key, detail)
-        if record is None:  # pragma: no cover - defensive
-            raise RuntimeError(f"job {job.job_id!r} finished without a record")
-        outcomes.append(
-            JobOutcome(
-                job=job,
-                result=decode_result(record["result"]),
-                elapsed_s=record.get("elapsed_s", 0.0),
-                cached=id(job) not in executed_ids,
-            )
-        )
-    return outcomes
+    for twins in deferred.values():  # pragma: no cover - defensive
+        # every fresh key lands (or the pool raised before this line),
+        # so a leftover twin means the executor lost a job
+        for twin in twins:
+            raise RuntimeError(f"job {twin.job_id!r} finished without a record")
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, Sequence[JobSpec]],
+    jobs: Optional[int] = None,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    detail: str = SUMMARY,
+    progress: Union[bool, ProgressReporter] = False,
+    batch: Optional[int] = None,
+) -> List[JobOutcome]:
+    """Run every job of *spec*; return outcomes in campaign order.
+
+    *jobs* > 1 fans pending work over a ``ProcessPoolExecutor``;
+    ``None``/1 runs the sequential fallback in this process — the two
+    paths produce identical results because every job world is
+    deterministic in its spec.  *store* (a :class:`ResultStore`, a
+    JSONL path, or a shard-directory path) makes the campaign
+    resumable: jobs whose key is already stored are returned from
+    cache without recomputation.  Jobs sharing a key (identical
+    parameters) execute once.  *batch* controls pool dispatch
+    granularity (see :func:`iter_campaign`).
+
+    This materializes every outcome — fine for grids up to a few
+    thousand jobs; population-scale runs should consume
+    :func:`iter_campaign` instead.
+    """
+    if isinstance(spec, CampaignSpec):
+        job_list = spec.expand()
+    else:
+        job_list = list(spec)
+    by_id = {
+        id(job): index for index, job in enumerate(job_list)
+    }
+    outcomes: List[Optional[JobOutcome]] = [None] * len(job_list)
+    for outcome in iter_campaign(
+        job_list if not isinstance(spec, CampaignSpec) else spec,
+        jobs=jobs,
+        store=store,
+        detail=detail,
+        progress=progress,
+        batch=batch,
+    ):
+        outcomes[by_id[id(outcome.job)]] = outcome
+    missing = [job_list[i].job_id for i, o in enumerate(outcomes) if o is None]
+    if missing:  # pragma: no cover - defensive
+        raise RuntimeError(f"jobs finished without a record: {missing[:3]}")
+    return outcomes  # type: ignore[return-value]
+
+
+def _chunk(jobs: List[JobSpec], size: int) -> List[List[JobSpec]]:
+    return [jobs[i : i + size] for i in range(0, len(jobs), size)]
 
 
 def _run_pool(
@@ -159,32 +319,71 @@ def _run_pool(
     store: ResultStore,
     detail: str,
     reporter: Optional[ProgressReporter],
-) -> None:
-    """Fan *pending* over worker processes, committing as they land.
+    batch: Optional[int],
+) -> Iterator[JobSpec]:
+    """Fan *pending* over worker processes, committing as results land.
 
-    On a job failure the queued-but-unstarted jobs are cancelled, but
-    every job that completes — including in-flight ones the pool must
-    wait out — is still committed to the store before the failure
-    propagates, so a resume after the fix re-runs only what never
-    finished.
+    Yields each job right after its record is committed, so callers
+    stream outcomes without waiting for the pool to drain.  On a job
+    failure the queued-but-unstarted tasks are cancelled, but every
+    job that completes — including the finished prefix of the failing
+    batch and in-flight tasks the pool must wait out — is still
+    committed to the store before the failure propagates, so a resume
+    after the fix re-runs only what never finished.
     """
     by_key = {job.key: job for job in pending}
+    workers = min(max_workers, len(pending))
+    if batch is None:
+        batch = auto_batch_size(pending, workers)
+    batches = _chunk(pending, batch)
     first_error: Optional[BaseException] = None
-    with ProcessPoolExecutor(max_workers=min(max_workers, len(pending))) as pool:
-        futures = {pool.submit(_pool_worker, job, detail) for job in pending}
-        while futures:
-            done, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                try:
-                    key, encoded, elapsed = future.result()
-                except BaseException as exc:  # noqa: BLE001 - re-raised below
-                    if first_error is None:
-                        first_error = exc
+    with ProcessPoolExecutor(max_workers=min(workers, len(batches))) as pool:
+        if batch == 1:
+            # the historical per-job path, kept verbatim as the
+            # dispatch-overhead baseline (`campaign.worlds_per_s`
+            # A/Bs against it): one task and one fsync'd append per job
+            futures = {pool.submit(_pool_worker, job, detail) for job in pending}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        key, encoded, elapsed = future.result()
+                    except BaseException as exc:  # noqa: BLE001
+                        if first_error is None:
+                            first_error = exc
+                            for queued in futures:
+                                queued.cancel()
+                        continue
+                    store.append(_record(by_key[key], encoded, detail, elapsed))
+                    if reporter is not None:
+                        reporter.job_done()
+                    yield by_key[key]
+        else:
+            futures = {
+                pool.submit(_pool_worker_batch, chunk, detail)
+                for chunk in batches
+            }
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        results, error = future.result()
+                    except BaseException as exc:  # noqa: BLE001
+                        results, error = [], exc
+                    if results:
+                        store.append_batch(
+                            [
+                                _record(by_key[key], encoded, detail, elapsed)
+                                for key, encoded, elapsed in results
+                            ]
+                        )
+                        if reporter is not None:
+                            reporter.job_done(len(results))
+                    if error is not None and first_error is None:
+                        first_error = error
                         for queued in futures:
                             queued.cancel()
-                    continue
-                store.append(_record(by_key[key], encoded, detail, elapsed))
-                if reporter is not None:
-                    reporter.job_done()
+                    for key, _, _ in results:
+                        yield by_key[key]
     if first_error is not None:
         raise first_error

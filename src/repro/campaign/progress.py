@@ -1,9 +1,16 @@
 """Campaign progress and ETA reporting.
 
 A :class:`ProgressReporter` prints throttled one-line updates as jobs
-finish.  The ETA is the mean wall-clock cost of the jobs *executed
-this run* (cache hits are free and excluded) times the jobs still
-pending — good enough for grids whose jobs are statistically alike,
+finish.  Redraws are *time*-based — at most one line per
+``min_interval_s`` no matter how many jobs land, so a 100k-job
+campaign whose batches complete thousands of jobs per second pays a
+few clock reads, not 100k lines of terminal I/O.
+
+The ETA divides the wall-clock spent so far by the number of jobs
+*executed this run*: cache hits are free and never enter either side
+of that division, so resuming a 90%-cached campaign predicts the cost
+of the remaining fresh tail, not a fantasy scaled by the cache
+hit-rate.  Good enough for grids whose jobs are statistically alike,
 which campaign grids are by construction.
 """
 
@@ -56,21 +63,49 @@ class ProgressReporter:
         else:
             self._write(f"{self.label}: running {self.total} jobs")
 
-    def job_done(self) -> None:
-        """One job finished executing (not a cache hit)."""
-        self.done += 1
-        self.executed += 1
+    def eta_seconds(self) -> Optional[float]:
+        """Predicted seconds left, from fresh-job completion rate only.
+
+        ``None`` until the first fresh job lands (no rate yet).  Cache
+        hits never contribute: the per-job rate divides elapsed wall
+        time by *executed* jobs, and the remaining count is the fresh
+        jobs still pending (``total - done``, since ``done`` already
+        carries every cache hit).
+        """
+        if not self.executed:
+            return None
+        rate = (time.monotonic() - self._started) / self.executed
+        return rate * (self.total - self.done)
+
+    def cache_hit(self, n: int = 1) -> None:
+        """*n* jobs served from the store mid-run (free, no ETA impact)."""
+        self.done += n
+        self.cached += n
+        self._maybe_redraw()
+
+    def job_done(self, n: int = 1) -> None:
+        """*n* jobs finished executing (not cache hits)."""
+        self.done += n
+        self.executed += n
+        self._maybe_redraw()
+
+    def _maybe_redraw(self) -> None:
         now = time.monotonic()
         if now - self._last_emit < self.min_interval_s and self.done < self.total:
             return
         self._last_emit = now
         elapsed = now - self._started
-        rate = elapsed / self.executed if self.executed else 0.0
-        remaining = self.total - self.done
-        eta = f", ETA {_fmt_seconds(rate * remaining)}" if remaining else ""
+        eta = self.eta_seconds()
+        suffix = (
+            f", ETA {_fmt_seconds(eta)}"
+            if eta is not None and self.done < self.total
+            else ""
+        )
+        rate = self.executed / elapsed if elapsed > 0 else 0.0
         self._write(
             f"{self.label}: {self.done}/{self.total} done "
-            f"({self.cached} cached), {_fmt_seconds(elapsed)} elapsed{eta}"
+            f"({self.cached} cached, {rate:.1f} jobs/s), "
+            f"{_fmt_seconds(elapsed)} elapsed{suffix}"
         )
 
     def finish(self) -> None:

@@ -1,73 +1,183 @@
-"""Resumable JSONL result store.
+"""Resumable result store: legacy single-file JSONL or key-range shards.
 
 One line per finished job:
 
     {"key": <sha256>, "job_id": ..., "meta": {...}, "detail": ...,
      "elapsed_s": ..., "result": {...}}
 
-Appending a line is the commit point — a campaign killed mid-job
-loses only that job, and a line truncated by the kill is skipped on
-the next load, so resuming is always safe.  A ``"full"``-detail
-record satisfies a ``"summary"`` lookup (it is a superset); when both
-exist for one key, the fuller record wins.
+Appending a line is the commit point — a campaign killed mid-append
+loses only the torn trailing line, which is skipped on the next load,
+so resuming is always safe.  A ``"full"``-detail record satisfies a
+``"summary"`` lookup (it is a superset); when both exist for one key,
+the fuller record wins.
+
+Two on-disk layouts share that contract:
+
+- **legacy single file** — a ``*.jsonl`` path holds every record, the
+  PR-1 format; existing caches keep loading unchanged;
+- **sharded directory** — any other path becomes a directory of
+  ``shard-NN.jsonl`` files, records routed by the leading bytes of
+  their job key.  Shard indexes load lazily (a lookup touches only the
+  one shard its key routes to) and :meth:`append_batch` commits a
+  whole worker batch with one write + one ``fsync`` per touched shard,
+  which is what keeps 100k-job campaigns off the per-record fsync
+  path.
+
+:meth:`compact` rewrites shards in place, dropping torn/corrupt lines
+and superseded duplicates (summary records shadowed by a full record,
+re-runs of the same key), and reports the bytes reclaimed.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.campaign.codec import FULL
 
+#: shard count of a directory-backed store; shard-NN names are
+#: zero-padded to two digits, so keep this <= 100
+N_SHARDS = 16
+
+def shard_index(key: str, n_shards: int = N_SHARDS) -> int:
+    """Route a job key to its shard (stable across runs and platforms)."""
+    try:
+        return int(key[:2], 16) % n_shards
+    except ValueError:
+        # non-hex keys (hand-written stores) still deserve a stable home
+        return sum(key.encode("utf-8", "replace")) % n_shards
+
+
+def _load_lines(path: Path) -> Tuple[List[Dict], int, bool]:
+    """Parse one JSONL file: (records, mid-file corrupt count, torn tail).
+
+    Only the *trailing* line may be silently partial — that is the
+    kill-mid-append signature and everything before it is intact.  A
+    malformed line anywhere else means real damage (disk fault, manual
+    edit, concurrent writer) and is counted so the caller can warn
+    instead of quietly dropping results.
+    """
+    records: List[Dict] = []
+    bad_lines = 0  # malformed lines seen so far (tail status unknown yet)
+    tail_torn = False
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                bad_lines += 1
+                tail_torn = True
+                continue
+            if not isinstance(record, dict) or "key" not in record:
+                bad_lines += 1
+                tail_torn = True
+                continue
+            tail_torn = False
+            records.append(record)
+    if tail_torn:
+        bad_lines -= 1  # the torn trailing line is expected damage
+    return records, bad_lines, tail_torn
+
 
 class ResultStore:
-    """Append-only JSONL cache keyed by stable job hash.
+    """Append-only result cache keyed by stable job hash.
 
     ``path=None`` gives an in-memory store: same interface, nothing
     persisted — the executor uses one when no cache file is wanted.
+    A ``*.jsonl`` path (or an existing regular file) selects the
+    legacy single-file layout; any other path selects the sharded
+    directory layout.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        n_shards: int = N_SHARDS,
+    ) -> None:
         self.path = Path(path) if path is not None else None
-        self._records: Dict[str, Dict] = {}
-        if self.path is not None and self.path.exists():
-            self._load()
+        self.sharded = (
+            self.path is not None
+            and not self.path.is_file()
+            and (self.path.is_dir() or self.path.suffix != ".jsonl")
+        )
+        self.n_shards = n_shards if self.sharded else 1
+        #: per-shard key → record maps; a shard is absent until loaded
+        self._shards: Dict[int, Dict[str, Dict]] = {}
+        if self.path is None:
+            self._shards[0] = {}
 
-    def _load(self) -> None:
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # a kill mid-append leaves one torn trailing line;
-                    # everything before it is intact
-                    continue
-                if not isinstance(record, dict) or "key" not in record:
-                    continue
-                self._remember(record)
+    # -- layout ---------------------------------------------------------------
 
-    def _remember(self, record: Dict) -> None:
-        existing = self._records.get(record["key"])
+    def _shard_of(self, key: str) -> int:
+        return shard_index(key, self.n_shards) if self.sharded else 0
+
+    def shard_path(self, shard: int) -> Optional[Path]:
+        """On-disk file backing *shard* (None for in-memory stores)."""
+        if self.path is None:
+            return None
+        if not self.sharded:
+            return self.path
+        return self.path / f"shard-{shard:02d}.jsonl"
+
+    def shard_paths(self) -> List[Path]:
+        """Every shard file that exists on disk."""
+        if self.path is None:
+            return []
+        if not self.sharded:
+            return [self.path] if self.path.exists() else []
+        if not self.path.is_dir():
+            return []
+        return sorted(self.path.glob("shard-*.jsonl"))
+
+    def _shard_records(self, shard: int) -> Dict[str, Dict]:
+        """The shard's key → record map, loading its file on first use."""
+        records = self._shards.get(shard)
+        if records is None:
+            records = self._shards[shard] = {}
+            path = self.shard_path(shard)
+            if path is not None and path.is_file():
+                loaded, corrupt, _ = _load_lines(path)
+                if corrupt:
+                    warnings.warn(
+                        f"result store {path}: skipped {corrupt} corrupt "
+                        "mid-file line(s); the shard is damaged beyond a "
+                        "torn tail and may be missing results",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                for record in loaded:
+                    self._remember(records, record)
+        return records
+
+    def _load_all(self) -> None:
+        for shard in range(self.n_shards):
+            self._shard_records(shard)
+
+    @staticmethod
+    def _remember(records: Dict[str, Dict], record: Dict) -> None:
+        existing = records.get(record["key"])
         if existing is not None and existing.get("detail") == FULL:
             return  # never downgrade a full record
-        self._records[record["key"]] = record
+        records[record["key"]] = record
 
     # -- lookup ---------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        self._load_all()
+        return sum(len(records) for records in self._shards.values())
 
     def __contains__(self, key: str) -> bool:
-        return key in self._records
+        return key in self._shard_records(self._shard_of(key))
 
     def get(self, key: str, detail: str) -> Optional[Dict]:
         """The stored record for *key*, if its detail level suffices."""
-        record = self._records.get(key)
+        record = self._shard_records(self._shard_of(key)).get(key)
         if record is None:
             return None
         if record.get("detail") == detail or record.get("detail") == FULL:
@@ -76,18 +186,93 @@ class ResultStore:
 
     def records(self) -> Iterator[Dict]:
         """All live records (deduplicated by key)."""
-        return iter(self._records.values())
+        self._load_all()
+        for shard in sorted(self._shards):
+            yield from self._shards[shard].values()
 
     # -- append ---------------------------------------------------------------
 
     def append(self, record: Dict) -> None:
         """Persist one finished job (the durable commit point)."""
-        self._remember(record)
+        self.append_batch([record])
+
+    def append_batch(self, records: List[Dict]) -> None:
+        """Persist a batch of finished jobs: one write + fsync per shard.
+
+        The write itself is the commit point, exactly as for single
+        appends: a kill mid-write leaves at most one torn trailing line
+        per touched shard, which the next load skips — every record
+        fully written before the kill survives.
+        """
+        if not records:
+            return
+        by_shard: Dict[int, List[Dict]] = {}
+        for record in records:
+            shard = self._shard_of(record["key"])
+            self._remember(self._shard_records(shard), record)
+            by_shard.setdefault(shard, []).append(record)
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, separators=(",", ":"))
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        if self.sharded:
+            self.path.mkdir(parents=True, exist_ok=True)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        for shard, batch in sorted(by_shard.items()):
+            lines = "".join(
+                json.dumps(record, separators=(",", ":")) + "\n"
+                for record in batch
+            )
+            with self.shard_path(shard).open("a", encoding="utf-8") as fh:
+                fh.write(lines)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    # -- maintenance ----------------------------------------------------------
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite every shard keeping only live records.
+
+        Drops superseded duplicates (summary lines shadowed by a full
+        record, repeated runs of one key), torn trailing lines and
+        corrupt lines, then atomically replaces each shard file.
+        Returns counters: lines/records before and after, and the
+        bytes reclaimed.
+        """
+        stats = {
+            "files": 0,
+            "lines_before": 0,
+            "records_after": 0,
+            "bytes_before": 0,
+            "bytes_after": 0,
+        }
+        for path in self.shard_paths():
+            loaded, _, _ = _load_lines(path)
+            live: Dict[str, Dict] = {}
+            for record in loaded:
+                self._remember(live, record)
+            stats["files"] += 1
+            stats["lines_before"] += sum(
+                1 for line in path.read_text(encoding="utf-8").splitlines() if line
+            )
+            stats["records_after"] += len(live)
+            stats["bytes_before"] += path.stat().st_size
+            tmp = path.with_suffix(".jsonl.tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for record in live.values():
+                    fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            stats["bytes_after"] += path.stat().st_size
+            # refresh the in-memory view of this file's records
+            if self.sharded:
+                try:
+                    index = int(path.stem.split("-", 1)[1])
+                except (IndexError, ValueError):
+                    index = None
+                if index is not None:
+                    self._shards.pop(index, None)
+            else:
+                self._shards.pop(0, None)
+        stats["bytes_reclaimed"] = stats["bytes_before"] - stats["bytes_after"]
+        return stats

@@ -105,13 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="measure a generated §5 population through the campaign engine",
     )
-    campaign.add_argument("population", choices=POPULATIONS)
+    campaign.add_argument("population", nargs="?", choices=POPULATIONS,
+                          help="population to measure (optional with "
+                               "--compact)")
     campaign.add_argument("--stage", action="append", default=None,
                           choices=sorted(STAGE_NAMES),
                           help="stage(s) to measure (repeatable; default: base)")
     campaign.add_argument("--scale", type=float, default=0.1,
-                          help="population scale vs the paper's site counts "
-                               "(default 0.1)")
+                          help="population scale (default 0.1): <= 1 shrinks "
+                               "the paper's site counts, > 1 switches "
+                               "quantcast to survey mode (10000 x scale "
+                               "rank-proportional sites)")
     campaign.add_argument("--threshold-ms", type=float, default=100.0,
                           help="θ degradation threshold (default 100)")
     campaign.add_argument("--max-crowd", type=int, default=50,
@@ -121,14 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=0)
     campaign.add_argument("--jobs", type=int, default=None, metavar="N",
                           help="worker processes (default: sequential)")
+    campaign.add_argument("--batch", type=int, default=None, metavar="B",
+                          help="worlds per worker task (default: auto-sized "
+                               "by estimated world cost; 1 = per-job "
+                               "dispatch)")
     campaign.add_argument("--cache", default=None, metavar="PATH",
-                          help="JSONL result store: an interrupted campaign "
-                               "resumes from it without recomputation")
+                          help="result store: a *.jsonl path is a legacy "
+                               "single file, any other path a sharded "
+                               "directory of shard-NN.jsonl files; an "
+                               "interrupted campaign resumes from it "
+                               "without recomputation")
+    campaign.add_argument("--compact", default=None, metavar="CACHE",
+                          help="compact a result store in place (drop "
+                               "superseded and corrupt lines, report bytes "
+                               "reclaimed) and exit")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress progress reporting")
     campaign.add_argument("--dry-run", action="store_true",
-                          help="expand the campaign and print job counts "
-                               "and the key digest without running anything")
+                          help="expand the campaign and print per-stratum "
+                               "site counts, job counts and the key digest "
+                               "without running anything")
 
     perf = sub.add_parser(
         "perf",
@@ -517,14 +533,35 @@ def cmd_campaign(args) -> int:
         startup_population,
     )
 
+    if args.compact is not None:
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(args.compact)
+        if not store.shard_paths():
+            print(f"repro campaign --compact: no store at {args.compact}",
+                  file=sys.stderr)
+            return 1
+        stats = store.compact()
+        print(
+            f"compacted {stats['files']} file(s): "
+            f"{stats['lines_before']} lines -> "
+            f"{stats['records_after']} records, "
+            f"{stats['bytes_before']} -> {stats['bytes_after']} bytes "
+            f"({stats['bytes_reclaimed']} reclaimed)"
+        )
+        return 0
+    if args.population is None:
+        print("repro campaign: a population is required unless --compact "
+              "is given", file=sys.stderr)
+        return 2
+
     strata_by_name = {
         "quantcast": quantcast_strata,
         "startups": startup_population,
         "phishing": phishing_population,
     }
-    sites = generate_population(
-        strata_by_name[args.population](scale=args.scale), seed=args.seed
-    )
+    strata = strata_by_name[args.population](scale=args.scale)
+    sites = generate_population(strata, seed=args.seed)
     config = MFCConfig(
         threshold_s=args.threshold_ms / 1000.0,
         max_crowd=args.max_crowd,
@@ -539,6 +576,10 @@ def cmd_campaign(args) -> int:
     if args.dry_run:
         # expansion smoke: job counts and the key digest must be stable
         # run-to-run for a given population/scale/seed (CI asserts this)
+        counts = ", ".join(
+            f"{spec.name}={spec.n_sites}" for spec in strata
+        )
+        print(f"strata: {counts} ({len(sites)} sites)")
         for stage in stages:
             spec = CampaignSpec.for_study(
                 sites, stage, config=config, fleet_spec=fleet_spec, seed=args.seed
@@ -562,6 +603,7 @@ def cmd_campaign(args) -> int:
             jobs=args.jobs,
             cache_path=args.cache,
             progress=not args.quiet,
+            batch=args.batch,
         )
         table = TextTable(
             ["stratum", "measured", "degraded", "stop <=20", "stop <=50"],
@@ -610,6 +652,7 @@ def cmd_perf(args) -> int:
         compare_to_baseline,
         find_regressions,
         load_bench_file,
+        run_campaign_suite,
         run_kernel_suite,
         run_world_suite,
         write_bench_file,
@@ -620,6 +663,8 @@ def cmd_perf(args) -> int:
     kernel = run_kernel_suite(quick=args.quick)
     print("repro perf: measuring end-to-end world ...", flush=True)
     world = run_world_suite(quick=args.quick)
+    print("repro perf: measuring campaign dispatch ...", flush=True)
+    world.update(run_campaign_suite(quick=args.quick))
     benches = {**kernel, **world}
 
     write_bench_file(os.path.join(args.out, "BENCH_kernel.json"), kernel)

@@ -391,6 +391,27 @@ class BisectKnee(EpochPlanner):
 
 # -- serializable strategy choice ----------------------------------------------
 
+#: planner class → (has **kwargs, accepted parameter names); computed
+#: once per class because ``inspect.signature`` is expensive and
+#: ``PlannerSpec.validate`` runs for every world a campaign builds
+_PLANNER_PARAMETERS: Dict[type, tuple] = {}
+
+
+def _planner_parameters(cls: type) -> tuple:
+    cached = _PLANNER_PARAMETERS.get(cls)
+    if cached is None:
+        import inspect
+
+        parameters = inspect.signature(cls.__init__).parameters
+        var_keyword = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+        accepted = [
+            p for p in parameters if p not in ("self", "config", "max_feasible_crowd")
+        ]
+        cached = _PLANNER_PARAMETERS[cls] = (var_keyword, accepted)
+    return cached
+
 
 @dataclass(frozen=True)
 class PlannerSpec:
@@ -417,16 +438,9 @@ class PlannerSpec:
             raise ValueError(
                 f"unknown planner {self.name!r}; registered: {sorted(PLANNERS)}"
             )
-        import inspect
-
-        parameters = inspect.signature(PLANNERS[self.name].__init__).parameters
-        if any(
-            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
-        ):
+        var_keyword, accepted = _planner_parameters(PLANNERS[self.name])
+        if var_keyword:
             return
-        accepted = [
-            p for p in parameters if p not in ("self", "config", "max_feasible_crowd")
-        ]
         unknown = sorted(set(self.params) - set(accepted))
         if unknown:
             raise ValueError(

@@ -28,9 +28,11 @@ from repro.perf.baseline import (
 from repro.perf.benches import (
     bench_allocator,
     bench_allocator_sync_crowd,
+    bench_campaign,
     bench_kernel_cascade,
     bench_kernel_timers,
     bench_world,
+    run_campaign_suite,
     run_kernel_suite,
     run_world_suite,
 )
@@ -39,12 +41,14 @@ __all__ = [
     "BASELINE_FILENAME",
     "bench_allocator",
     "bench_allocator_sync_crowd",
+    "bench_campaign",
     "bench_kernel_cascade",
     "bench_kernel_timers",
     "bench_world",
     "compare_to_baseline",
     "find_regressions",
     "load_bench_file",
+    "run_campaign_suite",
     "run_kernel_suite",
     "run_world_suite",
     "write_bench_file",

@@ -452,6 +452,149 @@ def bench_bisect_ramp(
     }
 
 
+# -- campaign dispatch --------------------------------------------------------
+
+
+def _micro_world(index: int, seed: int) -> "WorldSpec":
+    """The cheapest world the engine runs: one client, one-request crowd.
+
+    Population campaigns are dominated by dispatch overhead exactly
+    when their worlds are this small, so the campaign bench packs the
+    pool with these and measures the engine, not the simulation.
+    """
+    from repro.worlds.spec import SyntheticSpec
+
+    return WorldSpec(
+        synthetic=SyntheticSpec(
+            model="linear", params={"seconds_per_request": 0.0005}
+        ),
+        fleet=lan_fleet(1),
+        config=MFCConfig(
+            threshold_s=0.100,
+            max_crowd=1,
+            initial_crowd=1,
+            crowd_step=1,
+            min_clients=1,
+        ),
+        seed=seed + index,
+    )
+
+
+def bench_campaign(
+    n_worlds: int = 4000,
+    jobs: int = 2,
+    per_job_worlds: Optional[int] = None,
+    seed: int = 0,
+    repeats: int = 1,
+) -> Dict:
+    """Campaign dispatch throughput: batched pool vs per-job dispatch.
+
+    Runs *n_worlds* micro-worlds three ways: auto-sized worker batches
+    committing through a sharded store (the population-scale path),
+    ``batch=1`` — the PR-1-era per-job dispatch against a single-file
+    store (per-task IPC, one fsync per record) — and sequentially into
+    an in-memory store, which is the pure compute floor.  The floor
+    separates world cost from engine cost: ``dispatch_speedup`` is the
+    raw batched/per-job throughput ratio (compute-bound on one core),
+    while ``overhead_speedup`` divides the two arms' *above-floor*
+    per-world overhead — the dispatch cost itself, which is what
+    batching removes and what dominates 100k-world campaigns on real
+    fleets.  ``worlds_per_s`` (the gated metric) comes from the
+    batched arm.  Each arm rebuilds its job list so all pay identical
+    key-hashing cost, and the fingerprint hashes every result in
+    campaign order — the batched path must stay byte-identical to
+    sequential dispatch.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import CampaignSpec, JobSpec
+
+    per_job_n = per_job_worlds if per_job_worlds is not None else n_worlds
+    state: Dict = {}
+
+    def spec_for(count: int) -> "CampaignSpec":
+        return CampaignSpec(
+            name="bench-campaign",
+            jobs=[
+                JobSpec.from_world(f"bench-{i}", _micro_world(i, seed))
+                for i in range(count)
+            ],
+        )
+
+    def run_batched() -> None:
+        spec = spec_for(n_worlds)
+        tmp = tempfile.mkdtemp(prefix="bench-campaign-")
+        try:
+            state["outcomes"] = run_campaign(
+                spec, jobs=jobs, store=Path(tmp) / "cache.d", progress=False
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def run_per_job() -> None:
+        spec = spec_for(per_job_n)
+        tmp = tempfile.mkdtemp(prefix="bench-campaign-")
+        try:
+            run_campaign(
+                spec,
+                jobs=jobs,
+                store=Path(tmp) / "cache.jsonl",
+                progress=False,
+                batch=1,
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def run_sequential() -> None:
+        run_campaign(spec_for(n_worlds), jobs=None, progress=False)
+
+    seconds = _best_of(repeats, run_batched)
+    per_job_seconds = _best_of(repeats, run_per_job)
+    seq_seconds = _best_of(repeats, run_sequential)
+    digest = hashlib.sha256()
+    for outcome in state["outcomes"]:
+        digest.update(_result_fingerprint(outcome.result).encode("ascii"))
+    worlds_per_s = n_worlds / seconds if seconds > 0 else 0.0
+    per_job_worlds_per_s = (
+        per_job_n / per_job_seconds if per_job_seconds > 0 else 0.0
+    )
+    floor = seq_seconds / n_worlds
+    batched_overhead = seconds / n_worlds - floor
+    per_job_overhead = per_job_seconds / per_job_n - floor
+    # a batched arm that beats sequential (multi-core) has no
+    # measurable overhead left; clamp at 1 us/world to keep the ratio
+    # finite and JSON-encodable
+    batched_overhead = max(batched_overhead, 1e-6)
+    return {
+        "seconds": seconds,
+        "worlds": n_worlds,
+        "worlds_per_s": worlds_per_s,
+        "per_job_seconds": per_job_seconds,
+        "per_job_worlds": per_job_n,
+        "per_job_worlds_per_s": per_job_worlds_per_s,
+        "seq_seconds": seq_seconds,
+        "dispatch_speedup": (
+            worlds_per_s / per_job_worlds_per_s if per_job_worlds_per_s else 0.0
+        ),
+        "overhead_us_batched": batched_overhead * 1e6,
+        "overhead_us_per_job": per_job_overhead * 1e6,
+        "overhead_speedup": (
+            per_job_overhead / batched_overhead if per_job_overhead > 0 else 0.0
+        ),
+        "fingerprint": "sha256:" + digest.hexdigest(),
+        "params": {
+            "n_worlds": n_worlds,
+            "jobs": jobs,
+            "per_job_worlds": per_job_n,
+            "seed": seed,
+            "repeats": repeats,
+        },
+    }
+
+
 # -- suites -------------------------------------------------------------------
 
 
@@ -489,6 +632,28 @@ def run_kernel_suite(quick: bool = False) -> Dict[str, Dict]:
         repeats=repeats,
     )
     return benches
+
+
+def run_campaign_suite(quick: bool = False) -> Dict[str, Dict]:
+    """Campaign-engine benches → merged into the world payload.
+
+    One key, ``campaign.worlds_per_s``: micro-world dispatch
+    throughput through the batched pool, with the per-job and
+    sequential arms riding along inside the record for the A/B
+    numbers.  Gated by ``repro perf --check`` like every other bench
+    (its ``seconds`` is the batched arm's wall time).
+    """
+    if quick:
+        return {
+            "campaign.worlds_per_s.quick": bench_campaign(
+                n_worlds=300, jobs=2, repeats=1
+            ),
+        }
+    return {
+        "campaign.worlds_per_s": bench_campaign(
+            n_worlds=2000, jobs=2, repeats=2
+        ),
+    }
 
 
 def run_world_suite(quick: bool = False) -> Dict[str, Dict]:

@@ -12,17 +12,22 @@
 from repro.workload.fleet import FleetSpec, build_fleet
 from repro.workload.background import BackgroundTraffic
 from repro.workload.populations import (
+    HostingClassSpec,
+    ObjectMixSpec,
     PopulationSite,
     RankStratumSpec,
     generate_population,
     phishing_population,
     quantcast_strata,
     startup_population,
+    survey_counts,
 )
 
 __all__ = [
     "BackgroundTraffic",
     "FleetSpec",
+    "HostingClassSpec",
+    "ObjectMixSpec",
     "PopulationSite",
     "RankStratumSpec",
     "build_fleet",
@@ -30,4 +35,5 @@ __all__ = [
     "phishing_population",
     "quantcast_strata",
     "startup_population",
+    "survey_counts",
 ]

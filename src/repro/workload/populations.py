@@ -39,6 +39,32 @@ from repro.sim.rng import RNGRegistry
 
 
 @dataclass(frozen=True)
+class HostingClassSpec:
+    """A hosting tier's box capacity, sampled per site in survey mode.
+
+    The paper's replication strata pin every site to the same small
+    box; internet-scale surveys instead draw each site's hosting class
+    (shared box, VPS, dedicated, cluster frontend) from a per-stratum
+    weighted mix, which is what spreads capacity realistically across
+    100k+ sites.
+    """
+
+    name: str
+    cpu_cores: int = 1
+    ram_gib: float = 2.0
+    max_workers: int = 512
+
+
+@dataclass(frozen=True)
+class ObjectMixSpec:
+    """A content profile: extra static objects hung off the index page."""
+
+    name: str
+    n_static: int = 0
+    static_bytes_range: tuple = (2_000, 64_000)
+
+
+@dataclass(frozen=True)
 class RankStratumSpec:
     """Provisioning distributions for one popularity stratum."""
 
@@ -63,6 +89,13 @@ class RankStratumSpec:
     #: fraction of sites hosting a qualifying Large Object / Small Query
     has_large_object_prob: float = 1.0
     has_small_query_prob: float = 1.0
+    #: optional (HostingClassSpec, weight) choices sampled per site;
+    #: ``None`` keeps the legacy fixed 1-core/2-GiB box and — critically
+    #: for replication determinism — draws zero extra rng values
+    hosting_classes: Optional[Sequence] = None
+    #: optional (ObjectMixSpec, weight) choices sampled per site;
+    #: ``None`` adds no extra objects and draws zero extra rng values
+    object_mix: Optional[Sequence] = None
 
     def validate(self) -> None:
         """Sanity-check the distribution parameters."""
@@ -74,6 +107,10 @@ class RankStratumSpec:
             raise ValueError("need at least one bandwidth choice")
         if not 0 <= self.query_cache_prob <= 1:
             raise ValueError("query_cache_prob must be a probability")
+        if self.hosting_classes is not None and not self.hosting_classes:
+            raise ValueError("hosting_classes cannot be empty when set")
+        if self.object_mix is not None and not self.object_mix:
+            raise ValueError("object_mix cannot be empty when set")
 
 
 @dataclass
@@ -89,7 +126,8 @@ def _lognormal(rng: random.Random, median: float, sigma: float) -> float:
     return median * math.exp(rng.gauss(0.0, sigma))
 
 
-def _weighted_choice(rng: random.Random, choices: Sequence) -> float:
+def _weighted_choice(rng: random.Random, choices: Sequence):
+    """One (value, weight) draw; a single uniform however long the list."""
     total = sum(w for _, w in choices)
     roll = rng.uniform(0.0, total)
     acc = 0.0
@@ -105,6 +143,7 @@ def _site_content(
     large_object_bytes: Optional[float],
     query_cost_s: float,
     row_scan_rate: float,
+    extra_objects: Sequence[WebObject] = (),
 ) -> SiteContent:
     """Small per-site content tree with the stage-relevant objects.
 
@@ -133,6 +172,9 @@ def _site_content(
             )
         )
         links.append("/cgi-bin/q?id=1")
+    for obj in extra_objects:
+        objects.append(obj)
+        links.append(obj.path)
     objects.append(
         WebObject(
             "/index.html",
@@ -162,6 +204,22 @@ def generate_stratum(
         )
         has_query = rng.random() < spec.has_small_query_prob
         caches_queries = rng.random() < spec.query_cache_prob
+        # survey-mode draws come last so strata without these fields
+        # keep the exact historical rng sequence (byte-identical sites)
+        hosting: Optional[HostingClassSpec] = None
+        if spec.hosting_classes is not None:
+            hosting = _weighted_choice(rng, spec.hosting_classes)
+        extra_objects: List[WebObject] = []
+        if spec.object_mix is not None:
+            mix = _weighted_choice(rng, spec.object_mix)
+            for j in range(mix.n_static):
+                extra_objects.append(
+                    WebObject(
+                        f"/static/page{j:02d}.html",
+                        ContentType.TEXT,
+                        rng.uniform(*mix.static_bytes_range),
+                    )
+                )
 
         # small-site reality: the dynamic response is *generated* on
         # the box's one CPU core (PHP/CGI + DB on the same host), so
@@ -171,11 +229,11 @@ def generate_stratum(
         row_scan_rate = 1_000_000.0
         server_spec = ServerSpec(
             name=f"{spec.name}-site{i:03d}",
-            cpu_cores=1,
+            cpu_cores=hosting.cpu_cores if hosting is not None else 1,
             head_cpu_s=head_cpu,
             request_parse_cpu_s=min(0.0005, head_cpu / 4),
-            max_workers=512,
-            ram_bytes=2.0 * GIB,
+            max_workers=hosting.max_workers if hosting is not None else 512,
+            ram_bytes=(hosting.ram_gib if hosting is not None else 2.0) * GIB,
             response_cache_bytes=(32.0 * MIB if caches_queries else 0.0),
             db=DatabaseSpec(
                 max_connections=32,
@@ -190,7 +248,11 @@ def generate_stratum(
             ),
         )
         site_content = _site_content(
-            rng, large_bytes, query_cost if has_query else None, row_scan_rate
+            rng,
+            large_bytes,
+            query_cost if has_query else None,
+            row_scan_rate,
+            extra_objects=extra_objects,
         )
         scenario = Scenario(
             name=f"{spec.name}/site{i:03d}",
@@ -223,19 +285,94 @@ def generate_population(
 
 # -- the paper's populations ----------------------------------------------------
 
+#: survey mode (scale > 1) samples this many sites per unit of scale,
+#: spread over the rank buckets in proportion to their widths
+SURVEY_BASE_SITES = 10_000
+#: rank-bucket widths of the §5.1 strata (their union covers 1–1M)
+RANK_WIDTHS = {
+    "1-1K": 1_000,
+    "1K-10K": 9_000,
+    "10K-100K": 90_000,
+    "100K-1M": 900_000,
+}
+
+
+def survey_counts(scale: float) -> dict:
+    """Stratum → site count for a survey of ``10_000 × scale`` sites.
+
+    Counts are proportional to the rank-bucket widths, so a survey
+    samples the web's rank distribution instead of the paper's
+    measurement roster: ``--scale 10`` yields 100 / 900 / 9 000 /
+    90 000 = 100 000 sites.
+    """
+    total_rank = sum(RANK_WIDTHS.values())
+    total = int(round(SURVEY_BASE_SITES * scale))
+    return {
+        name: max(int(round(total * width / total_rank)), 1)
+        for name, width in RANK_WIDTHS.items()
+    }
+
+
+#: survey-mode hosting classes (shared box → cluster frontend)
+_SHARED = HostingClassSpec("shared", cpu_cores=1, ram_gib=2.0, max_workers=512)
+_VPS = HostingClassSpec("vps", cpu_cores=2, ram_gib=4.0, max_workers=768)
+_DEDICATED = HostingClassSpec("dedicated", cpu_cores=4, ram_gib=8.0, max_workers=1024)
+_CLUSTER = HostingClassSpec("cluster", cpu_cores=8, ram_gib=16.0, max_workers=2048)
+
+#: survey-mode hosting mixes per rank stratum: capacity is strongly
+#: rank-correlated at the top and collapses to shared boxes in the tail
+_SURVEY_HOSTING = {
+    "1-1K": ((_CLUSTER, 4.0), (_DEDICATED, 3.0), (_VPS, 1.0)),
+    "1K-10K": ((_DEDICATED, 3.0), (_VPS, 3.0), (_SHARED, 2.0)),
+    "10K-100K": ((_VPS, 3.0), (_SHARED, 5.0), (_DEDICATED, 1.0)),
+    "100K-1M": ((_SHARED, 7.0), (_VPS, 2.0)),
+}
+
+#: survey-mode content profiles: how much static furniture a site
+#: hangs off its index page besides the stage-relevant objects
+_LEAN_MIX = ObjectMixSpec("lean", n_static=2, static_bytes_range=(2_000, 40_000))
+_MEDIA_MIX = ObjectMixSpec("media", n_static=6, static_bytes_range=(10_000, 200_000))
+_RICH_MIX = ObjectMixSpec("rich", n_static=12, static_bytes_range=(4_000, 120_000))
+
+_SURVEY_OBJECT_MIX = {
+    "1-1K": ((_RICH_MIX, 3.0), (_MEDIA_MIX, 2.0), (_LEAN_MIX, 1.0)),
+    "1K-10K": ((_MEDIA_MIX, 3.0), (_RICH_MIX, 2.0), (_LEAN_MIX, 2.0)),
+    "10K-100K": ((_MEDIA_MIX, 3.0), (_LEAN_MIX, 3.0), (_RICH_MIX, 1.0)),
+    "100K-1M": ((_LEAN_MIX, 5.0), (_MEDIA_MIX, 2.0)),
+}
+
 
 def quantcast_strata(scale: float = 1.0) -> List[RankStratumSpec]:
     """The four §5.1 rank ranges with paper-matched site counts.
 
-    *scale* shrinks site counts proportionally for quick runs.
+    ``scale <= 1`` shrinks the paper's measurement-roster counts
+    proportionally for quick runs and keeps every generated site
+    byte-identical to earlier releases.  ``scale > 1`` switches to
+    *survey mode*: :func:`survey_counts` spreads ``10_000 × scale``
+    sites over the rank buckets in proportion to their widths and each
+    site additionally samples a per-stratum hosting class and static
+    object mix, so ``--scale 10`` simulates a 100 000-site
+    internet-scale survey rather than a bigger copy of the paper's
+    roster.
+
     Parameters follow the calibration arithmetic in the module
     docstring: e.g. the 100K–1M stratum's Base outcome (45% stop ≤ 50,
     15% stop ≤ 20 at θ=100 ms) needs P(S > 4 ms) ≈ 0.45 and
     P(S > 10 ms) ≈ 0.15 → lognormal(median ≈ 3.5 ms, σ ≈ 1.0).
     """
+    survey = scale > 1
+    counts = survey_counts(scale) if survey else {}
 
-    def n(count: int) -> int:
+    def n(name: str, count: int) -> int:
+        if survey:
+            return counts[name]
         return max(int(round(count * scale)), 1)
+
+    def hosting(name: str):
+        return _SURVEY_HOSTING[name] if survey else None
+
+    def objects(name: str):
+        return _SURVEY_OBJECT_MIX[name] if survey else None
 
     # bandwidth is deliberately weakly rank-correlated below the top
     # stratum (the paper's Figure 9 observation)
@@ -249,7 +386,7 @@ def quantcast_strata(scale: float = 1.0) -> List[RankStratumSpec]:
     return [
         RankStratumSpec(
             name="1-1K",
-            n_sites=n(114),
+            n_sites=n("1-1K", 114),
             head_cpu_median_s=0.0010,
             head_cpu_sigma=1.45,
             query_cost_median_s=0.0030,
@@ -261,36 +398,44 @@ def quantcast_strata(scale: float = 1.0) -> List[RankStratumSpec]:
                 (mbps(2500), 2.0),
                 (mbps(10000), 4.0),
             ),
+            hosting_classes=hosting("1-1K"),
+            object_mix=objects("1-1K"),
         ),
         RankStratumSpec(
             name="1K-10K",
-            n_sites=n(107),
+            n_sites=n("1K-10K", 107),
             head_cpu_median_s=0.0017,
             head_cpu_sigma=1.35,
             query_cost_median_s=0.006,
             query_cost_sigma=1.2,
             query_cache_prob=0.35,
             bandwidth_choices=mid_bandwidth,
+            hosting_classes=hosting("1K-10K"),
+            object_mix=objects("1K-10K"),
         ),
         RankStratumSpec(
             name="10K-100K",
-            n_sites=n(118),
+            n_sites=n("10K-100K", 118),
             head_cpu_median_s=0.0028,
             head_cpu_sigma=1.25,
             query_cost_median_s=0.010,
             query_cost_sigma=1.1,
             query_cache_prob=0.20,
             bandwidth_choices=mid_bandwidth,
+            hosting_classes=hosting("10K-100K"),
+            object_mix=objects("10K-100K"),
         ),
         RankStratumSpec(
             name="100K-1M",
-            n_sites=n(148),
+            n_sites=n("100K-1M", 148),
             head_cpu_median_s=0.0028,
             head_cpu_sigma=1.35,
             query_cost_median_s=0.011,
             query_cost_sigma=1.1,
             query_cache_prob=0.12,
             bandwidth_choices=mid_bandwidth,
+            hosting_classes=hosting("100K-1M"),
+            object_mix=objects("100K-1M"),
         ),
     ]
 

@@ -45,6 +45,29 @@ def test_sync_crowd_bench_coalesces_at_least_5x():
     assert rec["coalescing_factor"] >= 5.0
 
 
+def test_campaign_bench_reports_all_three_arms():
+    from repro.perf import bench_campaign
+
+    rec = bench_campaign(n_worlds=24, jobs=2, per_job_worlds=12, repeats=1)
+    assert rec["worlds"] == 24
+    assert rec["per_job_worlds"] == 12
+    assert rec["worlds_per_s"] == pytest.approx(24 / rec["seconds"])
+    assert rec["seq_seconds"] > 0
+    assert rec["dispatch_speedup"] > 0
+    assert rec["overhead_speedup"] >= 0
+    assert rec["overhead_us_batched"] > 0  # clamped at 1us/world
+    assert rec["fingerprint"].startswith("sha256:")
+    assert rec["params"]["n_worlds"] == 24
+
+
+def test_campaign_bench_fingerprint_is_deterministic():
+    from repro.perf import bench_campaign
+
+    first = bench_campaign(n_worlds=10, jobs=2, per_job_worlds=2, repeats=1)
+    second = bench_campaign(n_worlds=10, jobs=2, per_job_worlds=2, repeats=1)
+    assert first["fingerprint"] == second["fingerprint"]
+
+
 def test_find_regressions_flags_only_threshold_breaches():
     rows = compare_to_baseline(
         {

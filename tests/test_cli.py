@@ -206,6 +206,43 @@ def test_campaign_dry_run_reports_stable_expansion(capsys):
     assert capsys.readouterr().out == first
 
 
+def test_campaign_batched_sharded_cache_and_compact(capsys, tmp_path):
+    cache = str(tmp_path / "cache.d")  # no .jsonl suffix -> sharded
+    args = ["campaign", "startups", "--scale", "0.03", "--max-crowd", "20",
+            "--clients", "55", "--seed", "3", "--quiet", "--cache", cache,
+            "--jobs", "2", "--batch", "2"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "startups population" in out
+    assert list((tmp_path / "cache.d").glob("shard-*.jsonl"))
+    # repeat run: fully cached, identical report
+    assert main(args) == 0
+    assert capsys.readouterr().out == out
+    # compaction is a maintenance subcommand without a population
+    assert main(["campaign", "--compact", cache]) == 0
+    compact_out = capsys.readouterr().out
+    assert "compacted" in compact_out and "reclaimed" in compact_out
+    # and the cache still serves the campaign afterwards
+    assert main(args) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_campaign_compact_missing_store_fails(capsys, tmp_path):
+    assert main(["campaign", "--compact", str(tmp_path / "nope.d")]) == 1
+    assert "no store" in capsys.readouterr().err
+
+
+def test_campaign_requires_population_without_compact(capsys):
+    assert main(["campaign"]) == 2
+    assert "population is required" in capsys.readouterr().err
+
+
+def test_campaign_dry_run_prints_stratum_counts(capsys):
+    assert main(["campaign", "quantcast", "--scale", "0.02", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "strata: 1-1K=2, 1K-10K=2, 10K-100K=2, 100K-1M=3 (9 sites)" in out
+
+
 def test_parser_rejects_unknown_population():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["campaign", "nonexistent"])
@@ -340,6 +377,10 @@ def _stub_perf_suites(monkeypatch, world_fingerprint="sha256:aa"):
                 "fingerprint": world_fingerprint,
             }
         },
+    )
+    monkeypatch.setattr(
+        perf, "run_campaign_suite",
+        lambda quick=False: {},
     )
 
 
