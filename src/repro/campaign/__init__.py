@@ -35,6 +35,15 @@ from repro.campaign.spec import (
     stable_key,
 )
 from repro.campaign.store import ResultStore
+from repro.campaign.triage import (
+    TriageRecord,
+    indicator_world,
+    iter_triage,
+    plan_triage_jobs,
+    run_triage,
+    score_indicator,
+    targeted_probe_plan,
+)
 
 __all__ = [
     "FULL",
@@ -45,13 +54,20 @@ __all__ = [
     "JobSpec",
     "ProgressReporter",
     "ResultStore",
+    "TriageRecord",
     "auto_batch_size",
     "decode_result",
     "derive_site_seed",
     "encode_result",
     "estimate_job_cost",
     "execute_job",
+    "indicator_world",
     "iter_campaign",
+    "iter_triage",
+    "plan_triage_jobs",
     "run_campaign",
+    "run_triage",
+    "score_indicator",
     "stable_key",
+    "targeted_probe_plan",
 ]

@@ -1,11 +1,15 @@
 """JSON codec for campaign job results.
 
-The result store keeps one JSON document per finished job.  Three
+The result store keeps one JSON document per finished job.  Five
 result shapes are supported:
 
 - :class:`~repro.core.records.MFCResult` (scenario jobs),
 - :class:`~repro.core.records.StageResult` (callable jobs that return
   a single stage),
+- :class:`~repro.core.indicator.IndicatorResult` (phase-1 triage
+  jobs: the unloaded indicator pass),
+- :class:`~repro.campaign.triage.TriageRecord` (the per-site join of
+  indicator verdict and active follow-up),
 - any plain JSON-able value (callable jobs returning derived data,
   e.g. the synchronization ablation's arrival offsets).
 
@@ -18,9 +22,11 @@ keeps every epoch and client report, so analyses that read raw epochs
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from typing import Dict, List, Union
 
+from repro.core.indicator import IndicatorFeatures, IndicatorResult
 from repro.core.records import (
     ClientReport,
     EpochLabel,
@@ -145,6 +151,24 @@ def encode_result(
         }
     if isinstance(value, StageResult):
         return {"kind": "stage-result", "stage": _encode_stage(value, detail)}
+    if isinstance(value, IndicatorResult):
+        return {
+            "kind": "indicator-result",
+            "target_name": value.target_name,
+            "features": dataclasses.asdict(value.features),
+            "total_requests": value.total_requests,
+            "started_at": value.started_at,
+            "ended_at": value.ended_at,
+        }
+    # local import: triage sits above the executor, which imports this
+    # module at load time
+    from repro.campaign.triage import TriageRecord
+
+    if isinstance(value, TriageRecord):
+        doc = dataclasses.asdict(value)
+        doc["probe_stages"] = list(value.probe_stages)
+        doc["kind"] = "triage-record"
+        return doc
     # anything else must already be JSON-able
     try:
         json.dumps(value)
@@ -174,6 +198,21 @@ def decode_result(doc: Dict) -> Union[MFCResult, StageResult, object]:
         )
     if kind == "stage-result":
         return _decode_stage(doc["stage"])
+    if kind == "indicator-result":
+        return IndicatorResult(
+            target_name=doc["target_name"],
+            features=IndicatorFeatures(**doc["features"]),
+            total_requests=doc["total_requests"],
+            started_at=doc["started_at"],
+            ended_at=doc["ended_at"],
+        )
+    if kind == "triage-record":
+        from repro.campaign.triage import TriageRecord
+
+        fields = {f.name for f in dataclasses.fields(TriageRecord)}
+        kwargs = {k: v for k, v in doc.items() if k in fields}
+        kwargs["probe_stages"] = tuple(kwargs.get("probe_stages", ()))
+        return TriageRecord(**kwargs)
     if kind == "value":
         return doc["value"]
     raise ValueError(f"unknown stored result kind: {kind!r}")

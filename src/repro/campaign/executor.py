@@ -52,6 +52,17 @@ TARGET_BATCH_COST = 4_000.0
 MAX_BATCH_SIZE = 256
 #: assumed cost of a callable job (unknown work: keep batches small)
 FUNC_JOB_COST = TARGET_BATCH_COST
+#: planner cost factors relative to the paper's linear ramp: adaptive
+#: planners reach the knee in far fewer epochs (PR 5 measured the
+#: bisect planner at 1414 vs 3709 requests on the reference world,
+#: geometric between the two), so their worlds pack ~3x denser batches
+PLANNER_COST_FACTOR = {"linear": 1.0, "geometric": 0.45, "bisect": 0.35}
+#: assumed cost of an indicator job: a handful of unloaded sequential
+#: requests from one probe node — no crowd at all
+INDICATOR_JOB_COST = 15.0
+#: stage count assumed when a job does not restrict stages (the
+#: default three-stage probe), so single-stage jobs cost a third
+DEFAULT_STAGE_COUNT = 3
 
 
 @dataclass
@@ -92,20 +103,38 @@ def estimate_job_cost(job: JobSpec) -> float:
     """Rough relative cost of one job, in simulated-request units.
 
     An MFC world's wall time scales with how many requests its crowd
-    ramp issues, which is roughly ``fleet size × crowd cap``.  The
-    estimate only steers batch sizing — it need not be accurate, just
-    monotone enough that micro-worlds batch by the hundred while
+    ramp issues: roughly ``fleet size × crowd cap``, scaled by how many
+    stages run and by the epoch planner (an adaptive ramp reaches the
+    knee in ~3x fewer epochs than the linear one, so those worlds pack
+    denser batches).  Indicator worlds cost a flat handful of requests.
+    The estimate only steers batch sizing — it need not be accurate,
+    just monotone enough that micro-worlds batch by the hundred while
     full-size study worlds keep one-job batches.
     """
     if job.func is not None:
         return FUNC_JOB_COST
+    planner_name = "linear"
     if job.world is not None:
+        if job.world.indicator:
+            return INDICATOR_JOB_COST
         n_clients = job.world.fleet.n_clients
         max_crowd = job.world.config.max_crowd
+        stages = (
+            job.world.stages
+            if job.world.stages is not None
+            else job.world.stage_kinds
+        )
+        if job.world.planner is not None:
+            planner_name = job.world.planner.name
     else:
         n_clients = job.fleet_spec.n_clients if job.fleet_spec is not None else 65
         max_crowd = job.config.max_crowd if job.config is not None else 50
-    return float(max(n_clients * max_crowd, 1))
+        stages = job.stage_kinds
+    stage_factor = (
+        len(stages) / DEFAULT_STAGE_COUNT if stages else 1.0
+    )
+    planner_factor = PLANNER_COST_FACTOR.get(planner_name, 1.0)
+    return float(max(n_clients * max_crowd * stage_factor * planner_factor, 1))
 
 
 def auto_batch_size(jobs: Sequence[JobSpec], workers: int) -> int:

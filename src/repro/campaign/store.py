@@ -34,7 +34,7 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.campaign.codec import FULL
 
@@ -183,6 +183,14 @@ class ResultStore:
         if record.get("detail") == detail or record.get("detail") == FULL:
             return record
         return None
+
+    def missing(self, keys: Iterable[str], detail: str) -> List[str]:
+        """Keys from *keys* with no sufficient stored record, in order.
+
+        The two-phase triage scheduler uses this to report how much of
+        each phase a resumed run still owes before dispatching it.
+        """
+        return [key for key in keys if self.get(key, detail) is None]
 
     def records(self) -> Iterator[Dict]:
         """All live records (deduplicated by key)."""

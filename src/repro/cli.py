@@ -145,6 +145,42 @@ def build_parser() -> argparse.ArgumentParser:
                           help="expand the campaign and print per-stratum "
                                "site counts, job counts and the key digest "
                                "without running anything")
+    campaign.add_argument("--triage", action="store_true",
+                          help="two-phase triage instead of full probing: "
+                               "a near-free indicator sweep over every "
+                               "site, then targeted active probes only "
+                               "where the classifier flags a constraint "
+                               "(--stage is ignored: phase 2 picks the "
+                               "stages per site)")
+    campaign.add_argument("--triage-threshold", type=float, default=2.0,
+                          metavar="MARGIN",
+                          help="ambiguity margin for --triage: stages "
+                               "predicted to stop below MARGIN x max-crowd "
+                               "stay on the classifier's watch list "
+                               "(default 2.0)")
+
+    triage = sub.add_parser(
+        "triage",
+        help="triage one scenario: indicator sweep + classifier verdict",
+    )
+    triage.add_argument("scenario", choices=sorted(SCENARIOS))
+    triage.add_argument("--threshold-ms", type=float, default=100.0,
+                        help="θ degradation threshold (default 100)")
+    triage.add_argument("--max-crowd", type=int, default=55,
+                        help="crowd-size cap in requests (default 55)")
+    triage.add_argument("--clients", type=int, default=65,
+                        help="fleet size (default 65)")
+    triage.add_argument("--seed", type=int, default=0)
+    triage.add_argument("--margin", type=float, default=2.0,
+                        help="ambiguity margin: stages predicted to stop "
+                             "below margin x max-crowd stay on the watch "
+                             "list (default 2.0)")
+    triage.add_argument("--active", action="store_true",
+                        help="also run the targeted phase-2 probes the "
+                             "verdict asks for and print the joined record")
+    triage.add_argument("--json", action="store_true",
+                        help="machine-readable verdict (and record with "
+                             "--active)")
 
     perf = sub.add_parser(
         "perf",
@@ -568,6 +604,8 @@ def cmd_campaign(args) -> int:
         min_clients=_default_min_clients(args.clients),
     )
     fleet_spec = FleetSpec(n_clients=args.clients, unresponsive_fraction=0.05)
+    if args.triage:
+        return _campaign_triage(args, sites, config, fleet_spec)
     stages = (
         [STAGE_NAMES[s] for s in args.stage]
         if args.stage
@@ -625,6 +663,137 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _campaign_triage(args, sites, config, fleet_spec) -> int:
+    """``repro campaign --triage``: the two-phase path over a population."""
+    from repro.analysis.tables import TextTable
+    from repro.campaign.triage import iter_triage
+
+    per_stratum: dict = {}
+    indicator_requests = active_requests = 0
+    for record in iter_triage(
+        sites,
+        config=config,
+        fleet_spec=fleet_spec,
+        seed=args.seed,
+        margin=args.triage_threshold,
+        jobs=args.jobs,
+        batch=args.batch,
+        store=args.cache,
+        progress=not args.quiet,
+    ):
+        row = per_stratum.setdefault(
+            record.stratum or "-",
+            {"sites": 0, "confident": 0, "ambiguous": 0, "clean": 0,
+             "probed": 0, "stops": 0, "requests": 0},
+        )
+        row["sites"] += 1
+        row[record.label] += 1
+        row["probed"] += 1 if record.probed else 0
+        row["stops"] += sum(
+            1 for stop in (record.active_stops or {}).values()
+            if stop is not None
+        )
+        row["requests"] += record.total_requests
+        indicator_requests += record.indicator_requests
+        active_requests += record.active_requests
+
+    table = TextTable(
+        ["stratum", "sites", "confident", "ambiguous", "clean",
+         "probed", "stops", "requests"],
+        title=(
+            f"{args.population} population triage "
+            f"({sum(r['sites'] for r in per_stratum.values())} sites, "
+            f"seed {args.seed}, margin {args.triage_threshold})"
+        ),
+    )
+    # sorted: streaming arrival order varies with --jobs parallelism,
+    # the rendered table must not (CI diffs two runs of this command)
+    for stratum, row in sorted(per_stratum.items()):
+        table.add_row(
+            stratum, row["sites"], row["confident"], row["ambiguous"],
+            row["clean"], row["probed"], row["stops"], row["requests"],
+        )
+    print(table.render())
+    total = indicator_requests + active_requests
+    n_sites = sum(r["sites"] for r in per_stratum.values()) or 1
+    print(
+        f"\nrequests: {indicator_requests} indicator + {active_requests} "
+        f"active = {total} ({total / n_sites:.0f}/site)"
+    )
+    return 0
+
+
+def cmd_triage(args) -> int:
+    # imported here so `repro list`/`run` stay import-light
+    import dataclasses
+
+    from repro.campaign import decode_result, execute_job
+    from repro.campaign.spec import JobSpec
+    from repro.core.inference import classify_indicator
+
+    scenario = SCENARIOS[args.scenario]()
+    config = MFCConfig(
+        threshold_s=args.threshold_ms / 1000.0,
+        max_crowd=args.max_crowd,
+        min_clients=_default_min_clients(args.clients),
+    )
+    fleet_spec = FleetSpec(n_clients=args.clients)
+    if args.active:
+        from repro.campaign.triage import run_triage
+
+        records = run_triage(
+            [(args.scenario, scenario)],
+            config=config,
+            fleet_spec=fleet_spec,
+            seed=args.seed,
+            margin=args.margin,
+        )
+        record = records[0]
+        if args.json:
+            print(json.dumps(dataclasses.asdict(record), indent=2))
+            return 0
+        print(f"Triage record for {record.site_id}: {record.label}")
+        for stage, flag in record.stage_flags.items():
+            predicted = record.predicted_stops.get(stage)
+            line = f"  {stage:<12} {flag:<10}"
+            if predicted is not None:
+                line += f" predicted ~{predicted}"
+            if record.active_stops and stage in record.active_stops:
+                stop = record.active_stops[stage]
+                line += (
+                    f" -> active: stop at {stop}"
+                    if stop is not None
+                    else " -> active: no stop"
+                )
+            print(line)
+        print(
+            f"requests: {record.indicator_requests} indicator "
+            f"+ {record.active_requests} active"
+        )
+        return 0
+
+    world = WorldSpec(
+        scenario=scenario,
+        fleet=fleet_spec,
+        config=config,
+        seed=args.seed,
+        indicator=True,
+    )
+    job = JobSpec.from_world(f"{args.scenario}|indicator|seed{args.seed}", world)
+    result = decode_result(execute_job(job))
+    verdict = classify_indicator(result, config=config, margin=args.margin)
+    if args.json:
+        payload = dataclasses.asdict(verdict)
+        payload["indicator_requests"] = result.total_requests
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(result.describe())
+    print()
+    print(verdict.summary())
+    print(f"indicator requests: {result.total_requests}")
+    return 0
+
+
 def _project_root_for(path: str) -> Optional[str]:
     """Nearest ancestor of *path* (inclusive) that looks like a
     project root (has ``.git`` or ``pyproject.toml``); None if the
@@ -654,6 +823,7 @@ def cmd_perf(args) -> int:
         load_bench_file,
         run_campaign_suite,
         run_kernel_suite,
+        run_triage_suite,
         run_world_suite,
         write_bench_file,
     )
@@ -665,6 +835,8 @@ def cmd_perf(args) -> int:
     world = run_world_suite(quick=args.quick)
     print("repro perf: measuring campaign dispatch ...", flush=True)
     world.update(run_campaign_suite(quick=args.quick))
+    print("repro perf: measuring two-phase triage ...", flush=True)
+    world.update(run_triage_suite(quick=args.quick))
     benches = {**kernel, **world}
 
     write_bench_file(os.path.join(args.out, "BENCH_kernel.json"), kernel)
@@ -767,6 +939,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_spec(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "triage":
+        return cmd_triage(args)
     if args.command == "perf":
         return cmd_perf(args)
     return cmd_run(args)

@@ -324,13 +324,32 @@ class BisectKnee(EpochPlanner):
     K/s — an order of magnitude fewer probe bursts against production
     targets (§7's intrusiveness concern; the ``world.bisect_ramp``
     bench measures the saving).
+
+    ``spot=True`` turns the opening epoch into a *spot check*: the
+    caller seeds ``initial_crowd`` just above an externally predicted
+    knee (the two-phase triage pipeline, with the indicator's
+    estimate).  A *cold* clean first epoch — aggregate normalized time
+    under ``SPOT_COLD_FRACTION`` of the degradation threshold —
+    refutes the prediction outright and the stage finishes NoStop
+    without ramping on to the crowd cap.  A clean-but-warm first epoch
+    means the knee is near (the prediction merely undershot), so the
+    normal geometric growth takes over; a degraded first epoch
+    confirms the prediction and the descent/bisection takes over.
     """
+
+    #: a spot check may declare NoStop only when its epoch's aggregate
+    #: normalized time is this far *under* the degradation threshold;
+    #: anything warmer keeps probing — near-threshold cleanliness is
+    #: what a just-undershot prediction looks like
+    SPOT_COLD_FRACTION = 0.35
 
     def __init__(
         self,
         config: MFCConfig,
         max_feasible_crowd: Optional[int] = None,
         growth_factor: float = 2.0,
+        spot: bool = False,
+        knee_hint: Optional[int] = None,
     ) -> None:
         if growth_factor <= 1.0:
             raise ValueError(
@@ -338,12 +357,28 @@ class BisectKnee(EpochPlanner):
             )
         super().__init__(config, max_feasible_crowd)
         self.growth_factor = growth_factor
+        self.spot = bool(spot)
+        #: externally predicted knee; a degraded spot epoch descends
+        #: straight to ``knee_hint - crowd_step`` instead of blind
+        #: halving, so an accurate prediction costs ~3 epochs total
+        self.knee_hint = knee_hint
+        #: True until the first normal epoch is recorded (spot window)
+        self._first_normal = True
+        #: whether the epoch being recorded ran cold (set per record)
+        self._epoch_cold = False
         #: largest crowd observed clean (0 until one is)
         self._lo = 0
         #: smallest significantly degraded crowd; None while unbracketed
         self._hi: Optional[int] = None
 
     # -- progression ------------------------------------------------------------
+
+    def record(self, epoch: EpochResult) -> None:
+        self._epoch_cold = (
+            epoch.aggregate_normalized_s
+            < self.config.threshold_s * self.SPOT_COLD_FRACTION
+        )
+        super().record(epoch)
 
     def _grow_from(self, crowd: int) -> None:
         """Unbracketed growth via the shared clamped geometric step."""
@@ -363,6 +398,14 @@ class BisectKnee(EpochPlanner):
         self._next_crowd = max(self._lo + 1, min(self._hi - 1, mid))
 
     def _on_clean(self, crowd: int) -> None:
+        first = self._first_normal
+        self._first_normal = False
+        if self.spot and first and self._epoch_cold:
+            self._finish(
+                StageOutcome.NO_STOP,
+                reason=f"spot check: cold at predicted knee (crowd {crowd})",
+            )
+            return
         self._lo = max(self._lo, crowd)
         if self._hi is None:
             self._grow_from(crowd)
@@ -370,8 +413,20 @@ class BisectKnee(EpochPlanner):
             self._bisect_or_check()
 
     def _on_degraded(self, crowd: int) -> None:
+        first = self._first_normal
+        self._first_normal = False
         if self._hi is None or crowd < self._hi:
             self._hi = crowd
+            if first and self.spot and self.knee_hint is not None:
+                # prediction confirmed: probe just under the predicted
+                # knee, so an accurate hint brackets in one more epoch
+                under = max(
+                    self.config.crowd_step,
+                    self.knee_hint - self.config.crowd_step,
+                )
+                if self._lo < under < self._hi:
+                    self._next_crowd = under
+                    return
             self._bisect_or_check()
             return
         # No new information: the epoch ran at (or above) the bracket

@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.config import MFCConfig
 from repro.core.records import MFCResult, StageOutcome, StageResult
-from repro.core.stages import STAGES, StageKind
+from repro.core.stages import DEFAULT_STAGE_NAMES, STAGES, StageKind
+from repro.net.tcp import TcpModel
+from repro.server.http import HEADER_BYTES
 
 
 class Provisioning(enum.Enum):
@@ -219,3 +222,255 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
         if stage.outcome is StageOutcome.STOPPED
     ]
     return report
+
+
+# -- two-phase triage: the indicator classifier ------------------------------
+#
+# The indicator pass (repro.core.indicator) measures a site unloaded;
+# this classifier inverts the request-timing model to predict each
+# stage's stopping crowd from those features.  One measured request
+# decomposes as
+#
+#     elapsed = 1.5*RTT (handshake)  +  service  +  download,
+#
+# where the download pays at least the TCP slow-start latency floor
+# (0.5*RTT for a header-sized response).  So the base-page HEAD
+# isolates the front-end serialized cost S_front = base - 2*RTT, and
+# every other probe is priced *relative to the measured base* with the
+# slow-start floor of its extra bytes subtracted out.
+#
+# Crowd arithmetic: when an n-crowd arrives synchronized at a resource
+# with serialized per-request cost S, the rank-q client waits about
+# q*n*S, so the stage stops when q*n*S >= threshold:
+#
+#     n* = threshold / (ARRIVAL_SPREAD * q * S).
+#
+# Two model points matter and are deliberate:
+#
+# - **Small Query is priced at its steady-state (repeat) cost.**  A
+#   crowd's round-robin queries behave like re-fetches after the first
+#   wave, so a response-cached stack (repeat ~ base) reads clean no
+#   matter how expensive a cold query is, while a stack that pays the
+#   back end every time (repeat ~ fresh) is priced by that cost plus
+#   the front-end cost every request also serializes through.
+# - **Large Object headroom is invisible unloaded.**  An uncontended
+#   download is latency-bound by the slow-start floor (~5.5*RTT for a
+#   100 KB object), not bandwidth-bound — the very reason the paper
+#   needs crowds.  The indicator only *positively* flags bandwidth
+#   when the warm-GET excess over the floor clears the noise band;
+#   otherwise it defers: ambiguous on any site that is flagged
+#   elsewhere (cheap to add to an active probe already happening),
+#   clean on a site with no other signal.
+
+#: fraction of a synchronized crowd effectively ahead of the rank-q
+#: client on a serialized resource (1.0: the crowd arrives as one
+#: synchronized burst, so the rank-q client queues behind q*n others)
+ARRIVAL_SPREAD = 1.0
+#: smallest serialized-cost estimate we trust (below this the probe's
+#: own jitter dominates and the stage reads as unconstrained)
+MIN_SERVICE_S = 1e-4
+#: a large-object transfer excess must clear this many multiples of
+#: the observed base jitter before it counts as a bandwidth signal
+EXCESS_JITTER_FACTOR = 3.0
+#: a deferred Large Object rides along with the active probe only when
+#: some other stage is *strongly* flagged (predicted stop at or below
+#: this fraction of the crowd cap) — a weak borderline flag says
+#: nothing about bandwidth, and the ride-along is pure probe cost
+STRONG_FLAG_FRACTION = 0.30
+
+
+@dataclass
+class TriageVerdict:
+    """The indicator classifier's call on one site."""
+
+    target_name: str
+    #: "confident" (a constraint is predicted inside the active probe's
+    #: crowd range), "ambiguous" (near-threshold: worth validating) or
+    #: "clean" (a full probe would report NoStop everywhere)
+    label: str
+    #: most-constrained sub-system (smallest predicted stop), if any
+    constraint: Optional[str] = None
+    #: stage -> predicted stopping crowd (None: no stop predicted)
+    predicted_stops: Dict[str, Optional[int]] = field(default_factory=dict)
+    #: stage -> "flagged" / "ambiguous" / "clean"
+    stage_flags: Dict[str, str] = field(default_factory=dict)
+    #: stages phase 2 should probe actively: every flagged stage, plus
+    #: ambiguous stages whose uncertainty is structural (jitter or no
+    #: direct measurement) rather than a trusted over-cap estimate
+    probe_stages: Tuple[str, ...] = ()
+    #: the ambiguity multiplier this verdict was computed with
+    margin: float = 2.0
+
+    def summary(self) -> str:
+        """Readable one-screen verdict."""
+        lines = [f"Triage verdict for {self.target_name}: {self.label}"]
+        for stage, flag in self.stage_flags.items():
+            stop = self.predicted_stops.get(stage)
+            detail = f"predicted stop ~{stop}" if stop is not None else "no stop"
+            lines.append(f"  {stage:<12} {flag:<10} ({detail})")
+        if self.probe_stages:
+            lines.append("  active follow-up: " + ", ".join(self.probe_stages))
+        return "\n".join(lines)
+
+
+def _extra_floor_s(extra_bytes: Optional[float], rtt_s: float) -> float:
+    """Slow-start latency floor a response's body adds over a HEAD."""
+    if not extra_bytes or extra_bytes <= 0:
+        return 0.0
+    model = TcpModel()
+    return model.latency_floor_s(
+        extra_bytes + HEADER_BYTES, rtt_s
+    ) - model.latency_floor_s(HEADER_BYTES, rtt_s)
+
+
+def _serialized_costs(features) -> Dict[str, Optional[float]]:
+    """Per-stage serialized-cost estimates from the raw features.
+
+    ``None`` marks a probe the site's content made ineligible.  Every
+    cost is measured relative to the base HEAD, with the slow-start
+    floor of the response's extra bytes subtracted, so only genuine
+    service time remains.
+    """
+    rtt = features.rtt_s
+    base = features.base_latency_s
+    costs: Dict[str, Optional[float]] = {
+        "front": max(base - 2.0 * rtt, 0.0),
+        "query": None,
+        "bust": None,
+        "large_excess": None,
+    }
+    if features.query_repeat_s is not None:
+        floor = _extra_floor_s(features.query_bytes, rtt)
+        costs["query"] = max(features.query_repeat_s - base - floor, 0.0)
+    if features.large_get_s is not None:
+        floor = _extra_floor_s(features.large_bytes, rtt)
+        costs["large_excess"] = features.large_get_s - base - floor
+        if features.bust_get_s is not None:
+            costs["bust"] = max(features.bust_get_s - features.large_get_s, 0.0)
+    return costs
+
+
+def classify_indicator(
+    indicator_result,
+    config: Optional[MFCConfig] = None,
+    margin: float = 2.0,
+    stage_names: Sequence[str] = DEFAULT_STAGE_NAMES,
+) -> TriageVerdict:
+    """Map an :class:`~repro.core.indicator.IndicatorResult` to a
+    predicted constraint class with a confidence label.
+
+    *margin* widens the ambiguous band: a stage predicted to stop at up
+    to ``config.max_crowd * margin`` is still worth an active probe
+    (the arithmetic is a rule of thumb, not a simulator).
+    """
+    config = config if config is not None else MFCConfig()
+    features = indicator_result.features
+    threshold = config.threshold_s
+    max_crowd = float(config.max_crowd)
+    costs = _serialized_costs(features)
+
+    # unloaded response-time jitter rivaling the degradation threshold
+    # means every per-stage estimate below is noise: validate actively
+    jittery = features.base_jitter_s >= threshold
+
+    def crowd_for(service_s: Optional[float], quantile: float) -> Optional[float]:
+        if service_s is None or service_s < MIN_SERVICE_S:
+            return None
+        return threshold / (ARRIVAL_SPREAD * quantile * service_s)
+
+    predicted: Dict[str, Optional[int]] = {}
+    flags: Dict[str, str] = {}
+
+    def record(name: str, crowd: Optional[float], clean_ok: bool = True) -> None:
+        if crowd is None:
+            predicted[name] = None
+            flags[name] = "clean" if clean_ok and not jittery else "ambiguous"
+            return
+        predicted[name] = max(2, int(round(crowd)))
+        if crowd <= max_crowd and not jittery:
+            flags[name] = "flagged"
+        elif crowd <= max_crowd * margin or jittery:
+            flags[name] = "ambiguous"
+        else:
+            flags[name] = "clean"
+
+    deferred_large = False
+    for name in stage_names:
+        stage = STAGES.get(name)
+        quantile = stage.degradation_quantile if stage is not None else 0.5
+        if name == StageKind.BASE.value:
+            record(name, crowd_for(costs["front"], quantile))
+        elif name == StageKind.SMALL_QUERY.value:
+            if costs["query"] is None:
+                continue  # no small queries: the active probe skips it too
+            record(name, crowd_for(costs["front"] + costs["query"], quantile))
+        elif name == StageKind.LARGE_OBJECT.value:
+            excess = costs["large_excess"]
+            if excess is None:
+                continue  # no large object: the active probe skips it too
+            noise = max(
+                EXCESS_JITTER_FACTOR * features.base_jitter_s, MIN_SERVICE_S
+            )
+            if excess > noise:
+                # the path is already bandwidth-tight: n concurrent
+                # downloads multiply the excess ~n-fold
+                record(name, threshold / excess + 1.0)
+            else:
+                deferred_large = True  # decided after the other stages
+        elif name == "CacheBust":
+            if costs["bust"] is None:
+                continue
+            record(name, crowd_for(costs["front"] + costs["bust"], quantile))
+        else:
+            # a stage the indicator has no probe for (Upload, ConnChurn,
+            # any future registration): never silently call it clean
+            record(name, None, clean_ok=False)
+
+    if deferred_large:
+        name = StageKind.LARGE_OBJECT.value
+        predicted[name] = None
+        strongly_flagged = any(
+            flag == "flagged"
+            and predicted[other] is not None
+            and predicted[other] <= max_crowd * STRONG_FLAG_FRACTION
+            for other, flag in flags.items()
+        )
+        flags[name] = "ambiguous" if jittery or strongly_flagged else "clean"
+
+    if any(flag == "flagged" for flag in flags.values()):
+        label = "confident"
+    elif any(flag == "ambiguous" for flag in flags.values()):
+        label = "ambiguous"
+    else:
+        label = "clean"
+
+    constraint = None
+    flagged = [
+        (predicted[name], name)
+        for name, flag in flags.items()
+        if flag == "flagged" and predicted[name] is not None
+    ]
+    if flagged:
+        constraint = subsystem_for(min(flagged)[1])
+
+    return TriageVerdict(
+        target_name=indicator_result.target_name,
+        label=label,
+        constraint=constraint,
+        predicted_stops=predicted,
+        stage_flags=flags,
+        # flagged stages are always probed; an ambiguous stage earns a
+        # probe only when the uncertainty is structural — jitter
+        # drowning the estimates, or no per-stage measurement at all
+        # (deferred LargeObject, stages the indicator has no probe
+        # for).  A *directly measured* over-cap estimate is trusted:
+        # its band (cap, margin*cap] almost never hides a real stop,
+        # and probing it would cost a cap-sized burst per site.
+        probe_stages=tuple(
+            name
+            for name, flag in flags.items()
+            if flag == "flagged"
+            or (flag == "ambiguous" and (predicted[name] is None or jittery))
+        ),
+        margin=margin,
+    )

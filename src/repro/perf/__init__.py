@@ -34,6 +34,7 @@ from repro.perf.benches import (
     bench_world,
     run_campaign_suite,
     run_kernel_suite,
+    run_triage_suite,
     run_world_suite,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "load_bench_file",
     "run_campaign_suite",
     "run_kernel_suite",
+    "run_triage_suite",
     "run_world_suite",
     "write_bench_file",
 ]

@@ -595,6 +595,131 @@ def bench_campaign(
     }
 
 
+def bench_triage_savings(
+    scale: float = 0.41,
+    pop_seed: int = 11,
+    seed: int = 5,
+    jobs: int = 4,
+) -> Dict:
+    """Two-phase triage vs full-MFC-everywhere on a mixed population.
+
+    The acceptance benchmark for the triage engine (§7's intrusiveness
+    concern at survey scale): arm A probes every site with the full
+    default stage roster, arm B runs the indicator sweep and lets the
+    classifier pick the targeted active probes.  Both arms are
+    campaign runs through throwaway sharded stores, so the measured
+    wall time includes the resumable-store path.  ``request_savings``
+    (total requests A / total requests B) is the headline; the
+    agreement triple (``caught``/``missed``/``extra`` versus arm A's
+    stopped stages) rides along so a savings win can never silently
+    come from dropping recall.  Request totals are deterministic for
+    fixed seeds; wall times wobble, which is why the ``--check`` gate
+    rides on ``seconds`` like every other bench.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign.executor import iter_campaign
+    from repro.campaign.spec import JobSpec, derive_site_seed, _normalize_scenarios
+    from repro.campaign.triage import iter_triage
+    from repro.core.records import StageOutcome
+    from repro.core.stages import DEFAULT_STAGE_NAMES
+    from repro.workload.populations import generate_population, quantcast_strata
+
+    sites = generate_population(quantcast_strata(scale), seed=pop_seed)
+    config = MFCConfig(
+        threshold_s=0.100, max_crowd=50, min_clients=min(50, int(60 * 0.75))
+    )
+    fleet = FleetSpec(n_clients=60)
+
+    full_jobs = [
+        JobSpec.from_world(
+            f"{sid}|full|seed{seed}",
+            WorldSpec(
+                scenario=scenario,
+                fleet=fleet,
+                config=config,
+                seed=derive_site_seed(seed, index),
+                stages=tuple(DEFAULT_STAGE_NAMES),
+            ),
+            meta={"scenario_id": sid, **extra},
+        )
+        for index, (sid, scenario, extra) in enumerate(_normalize_scenarios(sites))
+    ]
+
+    tmp = tempfile.mkdtemp(prefix="bench-triage-")
+    try:
+        start = time.perf_counter()
+        full_requests = 0
+        full_stops: Dict[str, set] = {}
+        for outcome in iter_campaign(
+            full_jobs, jobs=jobs, store=Path(tmp) / "full.d", progress=False
+        ):
+            full_requests += outcome.result.total_requests
+            full_stops[outcome.meta["scenario_id"]] = {
+                name
+                for name, st in outcome.result.stages.items()
+                if st.outcome is StageOutcome.STOPPED
+            }
+        full_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        records = list(
+            iter_triage(
+                sites,
+                config=config,
+                fleet_spec=fleet,
+                seed=seed,
+                jobs=jobs,
+                store=Path(tmp) / "triage.d",
+            )
+        )
+        triage_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    triage_requests = sum(r.total_requests for r in records)
+    caught = missed = extra = 0
+    digest = hashlib.sha256()
+    for record in sorted(records, key=lambda r: r.site_id):
+        truth = full_stops.get(record.site_id, set())
+        active = {
+            name
+            for name, stop in (record.active_stops or {}).items()
+            if stop is not None
+        }
+        caught += len(truth & active)
+        missed += len(truth - active)
+        extra += len(active - truth)
+        digest.update(
+            f"{record.site_id}|{record.label}|{sorted(active)}".encode()
+        )
+    return {
+        "seconds": triage_seconds,
+        "full_seconds": full_seconds,
+        "sites": len(records),
+        "requests_full": full_requests,
+        "requests_triage": triage_requests,
+        "request_savings": (
+            full_requests / triage_requests if triage_requests else 0.0
+        ),
+        "wall_savings": (
+            full_seconds / triage_seconds if triage_seconds > 0 else 0.0
+        ),
+        "caught": caught,
+        "missed": missed,
+        "extra": extra,
+        "fingerprint": "sha256:" + digest.hexdigest(),
+        "params": {
+            "scale": scale,
+            "pop_seed": pop_seed,
+            "seed": seed,
+            "jobs": jobs,
+        },
+    }
+
+
 # -- suites -------------------------------------------------------------------
 
 
@@ -653,6 +778,26 @@ def run_campaign_suite(quick: bool = False) -> Dict[str, Dict]:
         "campaign.worlds_per_s": bench_campaign(
             n_worlds=2000, jobs=2, repeats=2
         ),
+    }
+
+
+def run_triage_suite(quick: bool = False) -> Dict[str, Dict]:
+    """Triage-engine benches → merged into the world payload.
+
+    One key, ``triage.request_savings``: the two-phase arm versus
+    full-MFC-everywhere on the mixed quantcast population (200 sites
+    full, 24 quick).  The acceptance bar is a ≥5x request reduction on
+    the full population; ``repro perf --check --check-keys triage.``
+    gates the wall time like every other bench.
+    """
+    if quick:
+        return {
+            "triage.request_savings.quick": bench_triage_savings(
+                scale=0.05, jobs=2
+            ),
+        }
+    return {
+        "triage.request_savings": bench_triage_savings(scale=0.41, jobs=4),
     }
 
 

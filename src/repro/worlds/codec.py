@@ -57,8 +57,19 @@ COSMETIC_FIELDS: Dict[str, Set[str]] = {
 #: default", so old documents and new omit-at-default documents are
 #: the same bytes.
 DEFAULT_OMITTED_FIELDS: Dict[str, Dict[str, object]] = {
-    "WorldSpec": {"stages": None, "planner": None},
+    "WorldSpec": {"stages": None, "planner": None, "indicator": False},
 }
+
+#: spec types whose *canonical* (hashing-form) document is memoized on
+#: the instance after the first encode.  Campaign expansion encodes the
+#: same ``WorldSpec`` (and its embedded ``Scenario`` with the whole
+#: site-content tree) once for the job key and again for
+#: ``spec_hash``/dry-run accounting — at 100k-job grids the repeated
+#: deep walks dominate expansion time.  Memoized specs are treated as
+#: immutable once encoded: mutating a field afterwards will NOT refresh
+#: the cached canonical form (``dataclasses.replace`` makes a fresh,
+#: memo-free instance and is the supported way to derive variants).
+CANONICAL_MEMO_TYPES: Set[str] = {"WorldSpec", "Scenario"}
 
 #: decodable dataclasses, by class name (the ``__dc__`` tag)
 _DATACLASSES: Dict[str, Type] = {}
@@ -103,9 +114,15 @@ def encode(obj, cosmetic: bool = True):
     are skipped — that is the hashing form.
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        skip = () if cosmetic else COSMETIC_FIELDS.get(type(obj).__name__, ())
-        omitted = DEFAULT_OMITTED_FIELDS.get(type(obj).__name__, {})
-        doc = {"__dc__": type(obj).__name__}
+        name = type(obj).__name__
+        memoize = not cosmetic and name in CANONICAL_MEMO_TYPES
+        if memoize:
+            memo = obj.__dict__.get("_canonical_memo")
+            if memo is not None:
+                return memo
+        skip = () if cosmetic else COSMETIC_FIELDS.get(name, ())
+        omitted = DEFAULT_OMITTED_FIELDS.get(name, {})
+        doc = {"__dc__": name}
         for f in dataclasses.fields(obj):
             if f.name in skip:
                 continue
@@ -113,6 +130,10 @@ def encode(obj, cosmetic: bool = True):
             if f.name in omitted and value == omitted[f.name]:
                 continue
             doc[f.name] = encode(value, cosmetic)
+        if memoize:
+            # plain __dict__ write: works for frozen dataclasses too,
+            # and never shows up in fields/encode/repr
+            obj.__dict__["_canonical_memo"] = doc
         return doc
     if isinstance(obj, enum.Enum):
         return {"__enum__": type(obj).__name__, "value": obj.value}
@@ -137,8 +158,20 @@ def canonical(obj):
 
 def stable_key(obj) -> str:
     """SHA-256 hex digest of the canonical encoding of *obj*."""
+    memoize = (
+        dataclasses.is_dataclass(obj)
+        and not isinstance(obj, type)
+        and type(obj).__name__ in CANONICAL_MEMO_TYPES
+    )
+    if memoize:
+        cached = obj.__dict__.get("_stable_key_memo")
+        if cached is not None:
+            return cached
     blob = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    key = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    if memoize:
+        obj.__dict__["_stable_key_memo"] = key
+    return key
 
 
 def decode(doc):

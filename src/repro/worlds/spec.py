@@ -86,6 +86,12 @@ class WorldSpec:
     stages: Optional[Tuple[str, ...]] = None
     #: epoch-progression strategy (None: the paper's linear ramp)
     planner: Optional[PlannerSpec] = None
+    #: run the near-free indicator pass (phase 1 of two-phase triage)
+    #: instead of MFC stages: a handful of unloaded sequential requests
+    #: from one well-connected probe node — no crowd, no coordinator.
+    #: Scenario worlds only; ``build()`` returns an
+    #: :class:`~repro.core.indicator.IndicatorRunner`.
+    indicator: bool = False
     #: attach an ``atop``-style monitor to the (first) server
     monitor_interval_s: Optional[float] = None
     #: loss probability on the coordinator↔client control channel
@@ -153,6 +159,23 @@ class WorldSpec:
             validate_stage_names(self.stages)
         if self.planner is not None:
             self.planner.validate()
+        if self.indicator:
+            if self.synthetic is not None:
+                raise ValueError(
+                    "indicator passes probe site content; synthetic worlds "
+                    "have none"
+                )
+            conflicting = {
+                "stage_kinds": self.stage_kinds,
+                "stages": self.stages,
+                "planner": self.planner,
+            }
+            extras = sorted(k for k, v in conflicting.items() if v is not None)
+            if extras:
+                raise ValueError(
+                    "the indicator pass has a fixed probe plan — no MFC "
+                    f"stages, no epoch planner; unsupported: {extras}"
+                )
         if self.synthetic is not None:
             self.synthetic.validate()
             unsupported = {
@@ -177,6 +200,8 @@ class WorldSpec:
         self.validate()
         if self.synthetic is not None:
             return self._build_synthetic()
+        if self.indicator:
+            return self._build_indicator()
         return self._build_scenario()
 
     def _build_scenario(self):
@@ -312,6 +337,107 @@ class WorldSpec:
             stages=stages,
             profile=profile,
             monitor=monitor,
+            scenario=scenario,
+            world_spec=self,
+        )
+
+    def _build_indicator(self):
+        from repro.core.client import MFCClient
+        from repro.core.indicator import (
+            PROBE_ACCESS_BPS,
+            PROBE_JITTER,
+            PROBE_RTT_S,
+            IndicatorRunner,
+        )
+        from repro.core.profiler import profile_site
+        from repro.net.topology import ClientSpec, Topology, TopologySpec
+        from repro.server.cluster import LoadBalancedCluster
+        from repro.server.webserver import SimWebServer
+        from repro.sim.kernel import Simulator
+        from repro.sim.rng import RNGRegistry
+        from repro.workload.background import BackgroundTraffic
+
+        scenario = self.scenario
+        if self.background_rps is not None:
+            scenario = scenario.with_background(self.background_rps)
+        rngs = RNGRegistry(self.seed)
+        sim = Simulator()
+
+        # one dedicated measurement vantage point instead of the fleet:
+        # well connected (its access link never masks server-side
+        # provisioning), low jitter, never flaky — probe infrastructure,
+        # not a PlanetLab node
+        probe_spec = ClientSpec(
+            client_id="probe00",
+            rtt_to_target=PROBE_RTT_S,
+            rtt_to_coord=0.010,
+            access_bps=PROBE_ACCESS_BPS,
+            jitter=PROBE_JITTER,
+        )
+        bg_specs = [
+            ClientSpec(
+                client_id=f"bg{i:02d}",
+                rtt_to_target=0.030 + 0.01 * i,
+                rtt_to_coord=0.020,
+                access_bps=12.5e6,
+                jitter=0.05,
+            )
+            for i in range(N_BACKGROUND_CLIENTS)
+        ]
+        topo_spec = TopologySpec(
+            server_access_bps=scenario.server_access_bps,
+            clients=[probe_spec] + bg_specs,
+        )
+        topology = Topology(sim, topo_spec, rngs=rngs.fork("topology"))
+
+        servers = [
+            SimWebServer(
+                sim,
+                (
+                    scenario.server_spec
+                    if scenario.n_servers == 1
+                    else type(scenario.server_spec)(
+                        **{
+                            **scenario.server_spec.__dict__,
+                            "name": f"{scenario.server_spec.name}-{i}",
+                        }
+                    )
+                ),
+                scenario.site,
+                topology.network,
+                topology.server_access,
+            )
+            for i in range(scenario.n_servers)
+        ]
+        service = (
+            servers[0]
+            if scenario.n_servers == 1
+            else LoadBalancedCluster(sim, servers)
+        )
+        client = MFCClient(
+            sim,
+            topology.client(probe_spec.client_id),
+            service,
+            topology.control,
+            self.config,
+            rng=rngs.stream("indicator.probe"),
+        )
+        background = BackgroundTraffic(
+            sim,
+            service,
+            scenario.site,
+            [topology.client(spec.client_id) for spec in bg_specs],
+            rate_rps=scenario.background_rps,
+            rng=rngs.stream("background"),
+        )
+        return IndicatorRunner(
+            sim=sim,
+            topology=topology,
+            service=service,
+            servers=servers,
+            client=client,
+            background=background,
+            profile=profile_site(scenario.site),
             scenario=scenario,
             world_spec=self,
         )

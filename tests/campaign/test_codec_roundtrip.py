@@ -178,3 +178,60 @@ def test_float_fidelity_through_json_text():
 def test_unknown_record_kind_rejected():
     with pytest.raises(ValueError, match="unknown stored result kind"):
         decode_result({"kind": "mystery"})
+
+
+def test_indicator_result_roundtrips():
+    from repro.core.indicator import IndicatorFeatures, IndicatorResult
+
+    result = IndicatorResult(
+        target_name="qtnp",
+        features=IndicatorFeatures(
+            rtt_s=0.012,
+            base_latency_s=0.0885,
+            base_jitter_s=0.0039,
+            query_fresh_s=0.091,
+            query_repeat_s=0.0907,
+            query_bytes=240.0,
+            n_query_paths=3,
+            large_head_s=0.0898,
+            large_get_s=0.2832,
+            large_bytes=1_048_576.0,
+            bust_get_s=0.2926,
+        ),
+        total_requests=14,
+        started_at=1.0,
+        ended_at=3.25,
+    )
+    text = json.dumps(encode_result(result))
+    decoded = decode_result(json.loads(text))
+    assert decoded == result
+
+
+def test_triage_record_roundtrips():
+    from repro.campaign.triage import TriageRecord
+
+    record = TriageRecord(
+        site_id="10K-100K/site007",
+        label="confident",
+        constraint="front-end",
+        stratum="10K-100K",
+        predicted_stops={"Base": 20, "SmallQuery": 15, "LargeObject": None},
+        stage_flags={
+            "Base": "flagged",
+            "SmallQuery": "flagged",
+            "LargeObject": "ambiguous",
+        },
+        probe_stages=("Base", "SmallQuery", "LargeObject"),
+        indicator_requests=13,
+        probed=True,
+        active_outcomes={"Base": "stopped", "SmallQuery": "no-stop"},
+        active_stops={"Base": 20, "SmallQuery": None},
+        active_requests=197,
+        margin=2.0,
+    )
+    text = json.dumps(encode_result(record))
+    decoded = decode_result(json.loads(text))
+    assert decoded == record
+    # probe_stages must come back as a tuple, not a JSON list
+    assert decoded.probe_stages == record.probe_stages
+    assert isinstance(decoded.probe_stages, tuple)

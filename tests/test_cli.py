@@ -382,6 +382,10 @@ def _stub_perf_suites(monkeypatch, world_fingerprint="sha256:aa"):
         perf, "run_campaign_suite",
         lambda quick=False: {},
     )
+    monkeypatch.setattr(
+        perf, "run_triage_suite",
+        lambda quick=False: {},
+    )
 
 
 def test_perf_records_and_scores_against_baseline(tmp_path, monkeypatch, capsys):
