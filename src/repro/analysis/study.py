@@ -159,7 +159,11 @@ class StudyResult:
 
 def _measure(site: PopulationSite, stage: StageKind, mfc_result: MFCResult) -> SiteMeasurement:
     """Map one site's experiment result to its study measurement."""
-    if mfc_result.aborted or stage.value not in mfc_result.stages:
+    if (
+        not isinstance(mfc_result, MFCResult)  # dead-lettered job
+        or mfc_result.aborted
+        or stage.value not in mfc_result.stages
+    ):
         return SiteMeasurement(
             site_id=site.site_id,
             stratum=site.stratum,
@@ -185,6 +189,8 @@ def run_stage_study(
     cache_path: Optional[Union[str, Path]] = None,
     progress: bool = False,
     batch: Optional[int] = None,
+    job_timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> StudyResult:
     """Measure one stage against every site in a population.
 
@@ -209,7 +215,8 @@ def run_stage_study(
     )
     measurements: List[Optional[SiteMeasurement]] = [None] * len(sites)
     for outcome in iter_campaign(
-        spec, jobs=jobs, store=cache_path, progress=progress, batch=batch
+        spec, jobs=jobs, store=cache_path, progress=progress, batch=batch,
+        job_timeout_s=job_timeout_s, retries=retries,
     ):
         index = outcome.meta["index"]
         measurements[index] = _measure(sites[index], stage, outcome.result)

@@ -42,6 +42,27 @@ FULL = "full"
 _DETAILS = (SUMMARY, FULL)
 
 
+@dataclasses.dataclass(frozen=True)
+class DeadLetter:
+    """Terminal failure record for one campaign job.
+
+    Committed to the :class:`~repro.campaign.store.ResultStore` in
+    place of a result when a job exhausts its timeout/retry budget, so
+    a poison job can never hang or wedge a campaign: the campaign
+    completes, the failure is queryable, and a resume serves it from
+    cache instead of hanging again.
+    """
+
+    job_id: str
+    #: "timeout" (wall-clock watchdog fired) or "error" (the job raised)
+    reason: str
+    #: repr of the terminal exception
+    error: str = ""
+    #: total attempts made (1 = no retry)
+    attempts: int = 1
+    elapsed_s: float = 0.0
+
+
 def _encode_report(report: ClientReport) -> List:
     return [
         report.client_id,
@@ -104,6 +125,19 @@ def _encode_stage(stage: StageResult, detail: str) -> Dict:
         "n_epochs": stage.epoch_count,
         "max_crowd_tested": stage.largest_crowd,
     }
+    # hardening annotations: emitted only when set, so every encoding
+    # of a legacy (unhardened) stage — including the frozen perf
+    # fingerprints, which hash full-detail documents — is byte-stable
+    if stage.invalid_epochs:
+        doc["invalid_epochs"] = stage.invalid_epochs
+    if stage.quarantined_clients:
+        doc["quarantined_clients"] = stage.quarantined_clients
+    if stage.max_missing_fraction:
+        doc["max_missing_fraction"] = stage.max_missing_fraction
+    if stage.truncated_crowd_cap is not None:
+        doc["truncated_crowd_cap"] = stage.truncated_crowd_cap
+    if stage.signal_noise_fraction:
+        doc["signal_noise_fraction"] = stage.signal_noise_fraction
     if detail == FULL:
         doc["epochs"] = [_encode_epoch(e) for e in stage.epochs]
     return doc
@@ -125,6 +159,11 @@ def _decode_stage(doc: Dict) -> StageResult:
         # for summary records whose epoch list was dropped
         max_crowd_tested=None if epochs else doc["max_crowd_tested"],
         n_epochs_recorded=None if epochs else doc["n_epochs"],
+        invalid_epochs=doc.get("invalid_epochs", 0),
+        quarantined_clients=doc.get("quarantined_clients", 0),
+        max_missing_fraction=doc.get("max_missing_fraction", 0.0),
+        truncated_crowd_cap=doc.get("truncated_crowd_cap"),
+        signal_noise_fraction=doc.get("signal_noise_fraction", 0.0),
     )
 
 
@@ -151,6 +190,15 @@ def encode_result(
         }
     if isinstance(value, StageResult):
         return {"kind": "stage-result", "stage": _encode_stage(value, detail)}
+    if isinstance(value, DeadLetter):
+        return {
+            "kind": "dead-letter",
+            "job_id": value.job_id,
+            "reason": value.reason,
+            "error": value.error,
+            "attempts": value.attempts,
+            "elapsed_s": value.elapsed_s,
+        }
     if isinstance(value, IndicatorResult):
         return {
             "kind": "indicator-result",
@@ -198,6 +246,14 @@ def decode_result(doc: Dict) -> Union[MFCResult, StageResult, object]:
         )
     if kind == "stage-result":
         return _decode_stage(doc["stage"])
+    if kind == "dead-letter":
+        return DeadLetter(
+            job_id=doc["job_id"],
+            reason=doc["reason"],
+            error=doc.get("error", ""),
+            attempts=doc.get("attempts", 1),
+            elapsed_s=doc.get("elapsed_s", 0.0),
+        )
     if kind == "indicator-result":
         return IndicatorResult(
             target_name=doc["target_name"],

@@ -31,13 +31,21 @@ contract — a list in campaign order.
 from __future__ import annotations
 
 import importlib
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.campaign.codec import SUMMARY, decode_result, encode_result
+from repro.campaign.codec import (
+    SUMMARY,
+    DeadLetter,
+    decode_result,
+    encode_result,
+)
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import ResultStore
@@ -77,6 +85,125 @@ class JobOutcome:
     @property
     def meta(self) -> Dict:
         return self.job.meta
+
+    @property
+    def dead(self) -> bool:
+        """True when the job exhausted its timeout/retry budget."""
+        return isinstance(self.result, DeadLetter)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in failure policy for campaign jobs.
+
+    With the default policy (no timeout, no retries) a failing job
+    propagates its exception exactly as it always has.  Setting a
+    timeout or a retry budget switches the campaign to dead-letter
+    mode: a job that exhausts the budget commits a
+    :class:`~repro.campaign.codec.DeadLetter` record in place of its
+    result and the campaign keeps going.  Timeouts are never retried —
+    a deterministic world that hung once will hang again — while
+    errors retry up to *retries* times with exponential backoff.
+    """
+
+    #: wall-clock budget per attempt (None = unlimited)
+    job_timeout_s: Optional[float] = None
+    #: extra attempts after a raising (not hanging) first attempt
+    retries: int = 0
+    #: base backoff before the first retry; doubles per attempt
+    retry_backoff_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.job_timeout_s is not None and self.job_timeout_s <= 0:
+            raise ValueError(f"job_timeout_s must be > 0: {self.job_timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0: {self.retries}")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0: {self.retry_backoff_s}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.job_timeout_s is not None or self.retries > 0
+
+
+class JobTimeout(RuntimeError):
+    """A campaign job exceeded its wall-clock budget."""
+
+
+@contextmanager
+def _watchdog(seconds: Optional[float]):
+    """Raise :class:`JobTimeout` in this thread after *seconds*.
+
+    Uses ``SIGALRM``, so it only arms on POSIX and in the main thread
+    — which is where both the sequential path and pool workers run
+    jobs.  Anywhere else it degrades to a no-op: the job simply runs
+    without a wall-clock guard rather than failing to start.
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise JobTimeout(f"job exceeded {seconds:g}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_with_policy(
+    job: JobSpec, detail: str, policy: RetryPolicy
+) -> Tuple[Dict, float]:
+    """Run one job under *policy*; returns ``(encoded, elapsed)``.
+
+    Never raises for job failures: a job that exhausts the budget
+    returns an encoded :class:`DeadLetter` document, which the parent
+    commits and yields like any other result.  ``KeyboardInterrupt``
+    and other non-``Exception`` escapes still propagate.
+    """
+    started = time.monotonic()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            with _watchdog(policy.job_timeout_s):
+                encoded = execute_job(job, detail)
+            return encoded, time.monotonic() - started
+        except JobTimeout as exc:
+            # deterministic worlds hang deterministically: retrying a
+            # timeout would just burn another full budget
+            elapsed = time.monotonic() - started
+            letter = DeadLetter(
+                job_id=job.job_id,
+                reason="timeout",
+                error=repr(exc),
+                attempts=attempts,
+                elapsed_s=round(elapsed, 3),
+            )
+            return encode_result(letter), elapsed
+        except Exception as exc:  # noqa: BLE001 - converted to DeadLetter
+            if attempts > policy.retries:
+                elapsed = time.monotonic() - started
+                letter = DeadLetter(
+                    job_id=job.job_id,
+                    reason="error",
+                    error=repr(exc),
+                    attempts=attempts,
+                    elapsed_s=round(elapsed, 3),
+                )
+                return encode_result(letter), elapsed
+            time.sleep(policy.retry_backoff_s * (2 ** (attempts - 1)))
 
 
 def execute_job(job: JobSpec, detail: str = SUMMARY) -> Dict:
@@ -153,25 +280,37 @@ def auto_batch_size(jobs: Sequence[JobSpec], workers: int) -> int:
     return max(1, min(size, MAX_BATCH_SIZE, balance_cap))
 
 
-def _pool_worker(job: JobSpec, detail: str) -> Tuple[str, Dict, float]:
+def _pool_worker(
+    job: JobSpec, detail: str, policy: Optional[RetryPolicy] = None
+) -> Tuple[str, Dict, float]:
     """Per-job pool entry point: (key, encoded result, elapsed)."""
+    if policy is not None and policy.enabled:
+        encoded, elapsed = _execute_with_policy(job, detail, policy)
+        return job.key, encoded, elapsed
     started = time.monotonic()
     encoded = execute_job(job, detail)
     return job.key, encoded, time.monotonic() - started
 
 
 def _pool_worker_batch(
-    jobs: List[JobSpec], detail: str
+    jobs: List[JobSpec], detail: str, policy: Optional[RetryPolicy] = None
 ) -> Tuple[List[Tuple[str, Dict, float]], Optional[BaseException]]:
     """Batched pool entry point: finished results + the first error.
 
     A job failure does not discard the batch's earlier results — they
     travel back with the error so the parent commits them before the
     failure propagates, keeping resume granularity per-job even under
-    batched dispatch.
+    batched dispatch.  Under an enabled :class:`RetryPolicy` a failing
+    job lands as a dead-letter result instead, so the batch (and the
+    campaign) always runs to completion.
     """
     results: List[Tuple[str, Dict, float]] = []
+    dead_letter = policy is not None and policy.enabled
     for job in jobs:
+        if dead_letter:
+            encoded, elapsed = _execute_with_policy(job, detail, policy)
+            results.append((job.key, encoded, elapsed))
+            continue
         started = time.monotonic()
         try:
             encoded = execute_job(job, detail)
@@ -208,6 +347,9 @@ def iter_campaign(
     detail: str = SUMMARY,
     progress: Union[bool, ProgressReporter] = False,
     batch: Optional[int] = None,
+    job_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
 ) -> Iterator[JobOutcome]:
     """Run every job of *spec*, yielding outcomes as they land.
 
@@ -223,6 +365,12 @@ def iter_campaign(
     *batch* sets how many jobs ride in one worker task (default: auto
     by estimated job cost; 1 reproduces the historical per-job
     dispatch, byte-identical results either way).
+
+    *job_timeout_s* / *retries* / *retry_backoff_s* enable dead-letter
+    mode (see :class:`RetryPolicy`): a hung or repeatedly failing job
+    lands as a :class:`~repro.campaign.codec.DeadLetter` outcome and
+    the campaign completes instead of hanging or aborting.  With the
+    defaults the historical contract holds: failures raise.
     """
     if isinstance(spec, CampaignSpec):
         job_list = spec.expand()
@@ -234,6 +382,11 @@ def iter_campaign(
         store = ResultStore(store)
     if batch is not None and batch < 1:
         raise ValueError(f"batch must be >= 1: {batch}")
+    policy = RetryPolicy(
+        job_timeout_s=job_timeout_s,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
+    )
 
     fresh: List[JobSpec] = []  # first job per not-yet-stored key
     #: jobs whose key some earlier fresh job computes (yield on land)
@@ -271,13 +424,19 @@ def iter_campaign(
             yield _outcome(twin, record, cached=True)
 
     if jobs is not None and jobs > 1 and len(fresh) > 1:
-        for done_job in _run_pool(fresh, jobs, store, detail, reporter, batch):
+        for done_job in _run_pool(
+            fresh, jobs, store, detail, reporter, batch, policy
+        ):
             yield from land(done_job)
     else:
         for job in fresh:
-            started = time.monotonic()
-            encoded = execute_job(job, detail)
-            store.append(_record(job, encoded, detail, time.monotonic() - started))
+            if policy.enabled:
+                encoded, elapsed = _execute_with_policy(job, detail, policy)
+            else:
+                started = time.monotonic()
+                encoded = execute_job(job, detail)
+                elapsed = time.monotonic() - started
+            store.append(_record(job, encoded, detail, elapsed))
             if reporter is not None:
                 reporter.job_done()
             yield from land(job)
@@ -298,6 +457,9 @@ def run_campaign(
     detail: str = SUMMARY,
     progress: Union[bool, ProgressReporter] = False,
     batch: Optional[int] = None,
+    job_timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
 ) -> List[JobOutcome]:
     """Run every job of *spec*; return outcomes in campaign order.
 
@@ -330,6 +492,9 @@ def run_campaign(
         detail=detail,
         progress=progress,
         batch=batch,
+        job_timeout_s=job_timeout_s,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
     ):
         outcomes[by_id[id(outcome.job)]] = outcome
     missing = [job_list[i].job_id for i, o in enumerate(outcomes) if o is None]
@@ -349,6 +514,7 @@ def _run_pool(
     detail: str,
     reporter: Optional[ProgressReporter],
     batch: Optional[int],
+    policy: RetryPolicy,
 ) -> Iterator[JobSpec]:
     """Fan *pending* over worker processes, committing as results land.
 
@@ -371,7 +537,10 @@ def _run_pool(
             # the historical per-job path, kept verbatim as the
             # dispatch-overhead baseline (`campaign.worlds_per_s`
             # A/Bs against it): one task and one fsync'd append per job
-            futures = {pool.submit(_pool_worker, job, detail) for job in pending}
+            futures = {
+                pool.submit(_pool_worker, job, detail, policy)
+                for job in pending
+            }
             while futures:
                 done, futures = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -389,7 +558,7 @@ def _run_pool(
                     yield by_key[key]
         else:
             futures = {
-                pool.submit(_pool_worker_batch, chunk, detail)
+                pool.submit(_pool_worker_batch, chunk, detail, policy)
                 for chunk in batches
             }
             while futures:

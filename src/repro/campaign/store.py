@@ -237,6 +237,72 @@ class ResultStore:
 
     # -- maintenance ----------------------------------------------------------
 
+    def fsck(self) -> Dict:
+        """Integrity report for every shard file, without rewriting.
+
+        Returns ``{"shards": [per-shard dicts], "totals": {...},
+        "damaged": bool}``.  Each shard dict counts ``lines`` (non-empty
+        lines on disk), ``records`` (parseable result lines), ``live``
+        (records that survive dedup), ``superseded`` (shadowed
+        duplicates), ``corrupt`` (malformed *mid-file* lines — real
+        damage), ``torn_tail`` (the expected kill-mid-append
+        signature) and ``dead_letters`` (live records whose stored
+        result is a dead letter).  ``damaged`` is True iff any shard
+        has mid-file corruption; a torn tail alone is normal wear and
+        does not flag the store.
+        """
+        shards: List[Dict] = []
+        totals = {
+            "files": 0,
+            "lines": 0,
+            "records": 0,
+            "live": 0,
+            "superseded": 0,
+            "corrupt": 0,
+            "torn_tails": 0,
+            "dead_letters": 0,
+        }
+        for path in self.shard_paths():
+            loaded, corrupt, torn = _load_lines(path)
+            live: Dict[str, Dict] = {}
+            for record in loaded:
+                self._remember(live, record)
+            dead = sum(
+                1
+                for record in live.values()
+                if record.get("result", {}).get("kind") == "dead-letter"
+            )
+            lines = sum(
+                1
+                for line in path.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+            )
+            shards.append(
+                {
+                    "path": str(path),
+                    "lines": lines,
+                    "records": len(loaded),
+                    "live": len(live),
+                    "superseded": len(loaded) - len(live),
+                    "corrupt": corrupt,
+                    "torn_tail": torn,
+                    "dead_letters": dead,
+                }
+            )
+            totals["files"] += 1
+            totals["lines"] += lines
+            totals["records"] += len(loaded)
+            totals["live"] += len(live)
+            totals["superseded"] += len(loaded) - len(live)
+            totals["corrupt"] += corrupt
+            totals["torn_tails"] += int(torn)
+            totals["dead_letters"] += dead
+        return {
+            "shards": shards,
+            "totals": totals,
+            "damaged": totals["corrupt"] > 0,
+        }
+
     def compact(self) -> Dict[str, int]:
         """Rewrite every shard keeping only live records.
 

@@ -43,7 +43,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.campaign.codec import SUMMARY
+from repro.campaign.codec import SUMMARY, DeadLetter
 from repro.campaign.executor import iter_campaign
 from repro.campaign.spec import (
     JobSpec,
@@ -92,7 +92,9 @@ class TriageRecord:
     """One site's triage outcome: indicator verdict ⋈ active truth."""
 
     site_id: str
-    #: classifier call: "confident" / "ambiguous" / "clean"
+    #: classifier call: "confident" / "ambiguous" / "clean" — or
+    #: "dead-letter" when the site's indicator job exhausted its
+    #: timeout/retry budget and the site could not be triaged at all
     label: str
     #: predicted most-constrained sub-system, if any
     constraint: Optional[str] = None
@@ -294,6 +296,8 @@ def iter_triage(
     detail: str = SUMMARY,
     progress: bool = False,
     time_limit_s: float = 1e7,
+    job_timeout_s: Optional[float] = None,
+    retries: int = 0,
 ) -> Iterator[TriageRecord]:
     """Run the two-phase triage over *sites*, streaming records.
 
@@ -326,8 +330,20 @@ def iter_triage(
     seen_keys: Dict[str, JobSpec] = {}
     for outcome in iter_campaign(
         phase1, jobs=jobs, batch=batch, store=store, detail=detail,
-        progress=progress,
+        progress=progress, job_timeout_s=job_timeout_s, retries=retries,
     ):
+        if isinstance(outcome.result, DeadLetter):
+            # the site could not even be swept; surface it rather
+            # than silently shrinking the population
+            yield TriageRecord(
+                site_id=outcome.meta.get(
+                    "scenario_id", outcome.result.job_id
+                ),
+                stratum=outcome.meta.get("stratum"),
+                label="dead-letter",
+                margin=margin,
+            )
+            continue
         verdict = classify_indicator(
             outcome.result, config=config, margin=margin,
             stage_names=stage_names,
@@ -362,18 +378,27 @@ def iter_triage(
         return
     for outcome in iter_campaign(
         phase2, jobs=jobs, batch=batch, store=store, detail=detail,
-        progress=progress,
+        progress=progress, job_timeout_s=job_timeout_s, retries=retries,
     ):
         result = outcome.result
         for record in by_key[outcome.job.key]:
-            for name, stage in result.stages.items():
-                record.active_outcomes[name] = stage.outcome.value
-                record.active_stops[name] = (
-                    stage.stopping_crowd_size
-                    if stage.outcome is StageOutcome.STOPPED
-                    else None
-                )
-            record.active_requests += result.total_requests
+            if isinstance(result, MFCResult):
+                for name, stage in result.stages.items():
+                    record.active_outcomes[name] = stage.outcome.value
+                    record.active_stops[name] = (
+                        stage.stopping_crowd_size
+                        if stage.outcome is StageOutcome.STOPPED
+                        else None
+                    )
+                record.active_requests += result.total_requests
+            else:
+                # dead-lettered probe: record the loss on the stage it
+                # was meant to measure so the join still completes and
+                # the gap is visible in the record
+                stage = outcome.meta.get("stage")
+                if stage is not None:
+                    record.active_outcomes[stage] = "dead-letter"
+                    record.active_stops[stage] = None
             remaining[id(record)] -= 1
             if remaining[id(record)] == 0:
                 record.probed = True

@@ -9,9 +9,13 @@
     python -m repro run qtnp --stages Upload --stages CacheBust
     python -m repro run qtnp --planner bisect --max-crowd 150
     python -m repro run qtnp --jobs 3 --cache /tmp/qtnp.jsonl
+    python -m repro run qtnp --faults stall --faults report-loss
     python -m repro spec dump qtnp --max-crowd 55 --seed 1 > world.json
     python -m repro run --spec world.json
     python -m repro campaign quantcast --scale 0.1 --jobs 8 --cache /tmp/qc.jsonl
+    python -m repro campaign quantcast --jobs 8 --job-timeout 300 --retries 1
+    python -m repro campaign --fsck /tmp/qc.cache
+    python -m repro chaos --quick
     python -m repro perf --quick --check --max-regression 0.25
 
 ``run`` prints the experiment summary and the inferred constraint
@@ -22,7 +26,9 @@ name.  ``spec dump`` exports a preset as a declarative
 :class:`~repro.worlds.spec.WorldSpec` JSON document, which ``run
 --spec`` — after any hand edits — turns back into a runnable world.
 ``campaign`` measures a whole generated population (the paper's §5
-study) through the parallel campaign engine.
+study) through the parallel campaign engine.  ``run --faults`` injects
+a named fault plan into the world; ``chaos`` runs the fault grid and
+fails when any faulted verdict is silently wrong.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from repro.core.epochs import PLANNERS, PlannerSpec
 from repro.core.inference import infer_constraints
 from repro.core.stages import STAGES, StageKind
 from repro.core.variants import mfc_mr_config, staggered_config
+from repro.faults.spec import FAULT_PRESETS, fault_spec_from_names
 from repro.workload.fleet import FleetSpec
 from repro.worlds import FLEET_PRESETS, SCENARIO_PRESETS, SYNTHETIC_MODELS, WorldSpec
 from repro.worlds import codec as world_codec
@@ -139,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="compact a result store in place (drop "
                                "superseded and corrupt lines, report bytes "
                                "reclaimed) and exit")
+    campaign.add_argument("--fsck", default=None, metavar="CACHE",
+                          help="integrity-check a result store without "
+                               "rewriting it (per-shard line/record/"
+                               "corruption counts) and exit; nonzero when "
+                               "any shard has mid-file damage")
+    campaign.add_argument("--job-timeout", type=float, default=None,
+                          metavar="SEC",
+                          help="dead-letter mode: wall-clock budget per "
+                               "job; a job that exceeds it commits a "
+                               "dead-letter record instead of hanging the "
+                               "campaign (default: no limit)")
+    campaign.add_argument("--retries", type=int, default=0, metavar="N",
+                          help="dead-letter mode: extra attempts for a "
+                               "job that raises (timeouts are never "
+                               "retried; default 0)")
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress progress reporting")
     campaign.add_argument("--dry-run", action="store_true",
@@ -181,6 +203,35 @@ def build_parser() -> argparse.ArgumentParser:
     triage.add_argument("--json", action="store_true",
                         help="machine-readable verdict (and record with "
                              "--active)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault grid: faulted verdicts must match the "
+             "baseline or be explicitly inconclusive, never silently "
+             "wrong",
+    )
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI-smoke slice: 2 scenarios x 3 fault "
+                            "families instead of the full registry grid")
+    chaos.add_argument("--scenario", action="append", default=None,
+                       choices=sorted(SCENARIOS),
+                       help="restrict to a scenario (repeatable; "
+                            "default: --quick slice or every preset)")
+    chaos.add_argument("--fault", action="append", default=None,
+                       choices=sorted(FAULT_PRESETS),
+                       help="restrict to a fault preset (repeatable; "
+                            "default: --quick slice or every preset)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: sequential)")
+    chaos.add_argument("--cache", default=None, metavar="PATH",
+                       help="result store: an interrupted grid resumes "
+                            "from it without recomputation")
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable report (rows, counts, "
+                            "silently-wrong cells)")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress progress reporting")
 
     perf = sub.add_parser(
         "perf",
@@ -232,6 +283,7 @@ _WORLD_FLAG_DEFAULTS = {
     "planner": None,
     "background": None,
     "seed": 0,
+    "faults": None,
 }
 
 
@@ -270,6 +322,13 @@ def _add_world_arguments(parser) -> None:
     parser.add_argument("--background", type=float, default=d["background"],
                         help="override background traffic (requests/second)")
     parser.add_argument("--seed", type=int, default=d["seed"])
+    parser.add_argument("--faults", action="append", default=d["faults"],
+                        choices=sorted(FAULT_PRESETS), metavar="NAME",
+                        help="inject a named fault plan (repeatable: "
+                             "plans merge); runs the hardened "
+                             "coordinator and may downgrade verdicts "
+                             "to inconclusive rather than answer "
+                             "wrongly")
 
 
 def _default_min_clients(clients: int) -> int:
@@ -386,6 +445,10 @@ def _inventory() -> dict:
             name: world_codec.encode(factory())
             for name, factory in sorted(FLEET_PRESETS.items())
         },
+        "fault_presets": {
+            name: world_codec.encode(factory())
+            for name, factory in sorted(FAULT_PRESETS.items())
+        },
         "synthetic_models": sorted(SYNTHETIC_MODELS),
     }
 
@@ -403,6 +466,7 @@ def _world_from_args(args, scenario) -> WorldSpec:
         stages=tuple(args.stages) if args.stages else None,
         planner=PlannerSpec(name=args.planner) if args.planner else None,
         background_rps=args.background,
+        faults=fault_spec_from_names(args.faults) if args.faults else None,
     )
 
 
@@ -569,6 +633,45 @@ def cmd_campaign(args) -> int:
         startup_population,
     )
 
+    if args.fsck is not None:
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(args.fsck)
+        if not store.shard_paths():
+            print(f"repro campaign --fsck: no store at {args.fsck}",
+                  file=sys.stderr)
+            return 1
+        report = store.fsck()
+        for shard in report["shards"]:
+            flags = []
+            if shard["corrupt"]:
+                flags.append(f"CORRUPT x{shard['corrupt']}")
+            if shard["torn_tail"]:
+                flags.append("torn tail")
+            if shard["dead_letters"]:
+                flags.append(f"dead-letters {shard['dead_letters']}")
+            print(
+                f"{shard['path']}: {shard['lines']} lines, "
+                f"{shard['live']} live record(s), "
+                f"{shard['superseded']} superseded"
+                + (f" [{', '.join(flags)}]" if flags else "")
+            )
+        totals = report["totals"]
+        print(
+            f"total: {totals['files']} shard(s), {totals['live']} live, "
+            f"{totals['superseded']} superseded, "
+            f"{totals['corrupt']} corrupt, "
+            f"{totals['torn_tails']} torn tail(s), "
+            f"{totals['dead_letters']} dead letter(s)"
+        )
+        if report["damaged"]:
+            print(
+                "repro campaign --fsck: mid-file corruption detected; "
+                "run --compact to drop the damaged lines",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.compact is not None:
         from repro.campaign.store import ResultStore
 
@@ -588,7 +691,7 @@ def cmd_campaign(args) -> int:
         return 0
     if args.population is None:
         print("repro campaign: a population is required unless --compact "
-              "is given", file=sys.stderr)
+              "or --fsck is given", file=sys.stderr)
         return 2
 
     strata_by_name = {
@@ -642,6 +745,8 @@ def cmd_campaign(args) -> int:
             cache_path=args.cache,
             progress=not args.quiet,
             batch=args.batch,
+            job_timeout_s=args.job_timeout,
+            retries=args.retries,
         )
         table = TextTable(
             ["stratum", "measured", "degraded", "stop <=20", "stop <=50"],
@@ -680,6 +785,8 @@ def _campaign_triage(args, sites, config, fleet_spec) -> int:
         batch=args.batch,
         store=args.cache,
         progress=not args.quiet,
+        job_timeout_s=args.job_timeout,
+        retries=args.retries,
     ):
         row = per_stratum.setdefault(
             record.stratum or "-",
@@ -687,7 +794,10 @@ def _campaign_triage(args, sites, config, fleet_spec) -> int:
              "probed": 0, "stops": 0, "requests": 0},
         )
         row["sites"] += 1
-        row[record.label] += 1
+        # labels beyond the classifier's three ("dead-letter" under a
+        # timeout/retry policy, future additions) count without a
+        # dedicated column rather than crashing the rollup
+        row[record.label] = row.get(record.label, 0) + 1
         row["probed"] += 1 if record.probed else 0
         row["stops"] += sum(
             1 for stop in (record.active_stops or {}).values()
@@ -714,6 +824,9 @@ def _campaign_triage(args, sites, config, fleet_spec) -> int:
             row["clean"], row["probed"], row["stops"], row["requests"],
         )
     print(table.render())
+    dead = sum(row.get("dead-letter", 0) for row in per_stratum.values())
+    if dead:
+        print(f"\ndead-lettered sites: {dead} (not triaged; see the cache)")
     total = indicator_requests + active_requests
     n_sites = sum(r["sites"] for r in per_stratum.values()) or 1
     print(
@@ -791,6 +904,34 @@ def cmd_triage(args) -> int:
     print()
     print(verdict.summary())
     print(f"indicator requests: {result.total_requests}")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    # imported here so `repro list`/`run` stay import-light
+    from repro.faults.chaos import chaos_grid, format_report
+
+    report = chaos_grid(
+        scenarios=args.scenario,
+        faults=args.fault,
+        seed=args.seed,
+        quick=args.quick,
+        jobs=args.jobs,
+        store=args.cache,
+        progress=not args.quiet and not args.json,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    wrong = report["counts"]["silently_wrong"]
+    if wrong:
+        print(
+            f"repro chaos: {wrong} silently wrong verdict(s) — a fault "
+            "changed an answer without downgrading it",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -941,6 +1082,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_campaign(args)
     if args.command == "triage":
         return cmd_triage(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "perf":
         return cmd_perf(args)
     return cmd_run(args)

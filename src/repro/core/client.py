@@ -68,12 +68,18 @@ class MFCClient:
         self.requests_issued = 0
         #: where to deposit reports (wired by the coordinator)
         self.report_sink: Optional[Callable] = None
+        #: fault-injection gate (:class:`repro.faults.inject.FaultInjector`);
+        #: None — every fault-free world — short-circuits all checks,
+        #: keeping those runs byte-identical
+        self.fault_gate = None
 
     # -- liveness -------------------------------------------------------------
 
     def probe(self, reply: Callable[[str], None]) -> None:
         """Liveness probe: flaky nodes stay silent; others answer
         after one control-channel round trip."""
+        if self.fault_gate is not None and self.fault_gate.client_down(self.client_id):
+            return
         if self._rng.random() < self.node.spec.unresponsive_prob:
             return
         self.control.ping(self.node.latency_to_coord, lambda _rtt: reply(self.client_id))
@@ -110,6 +116,23 @@ class MFCClient:
             yield self.config.base_measure_gap_s
         return dict(self.base_times)
 
+    def probe_unloaded(
+        self,
+        path: str,
+        method: Method,
+        body_bytes: float = 0.0,
+        connections: int = 1,
+    ) -> Generator:
+        """Process body: one unloaded request for the hardened
+        coordinator's safety-abort guard (paper's non-intrusiveness
+        rule).  Returns ``(status, normalized_s)`` against the base
+        time measured in the delay-computation phase."""
+        status, _nbytes, elapsed = yield from self._issue_once(
+            path, method, body_bytes=body_bytes, connections=connections
+        )
+        base = self.base_times.get(path, 0.0)
+        return status, elapsed - base
+
     # -- epoch execution --------------------------------------------------------
 
     def execute_command(self, command: RequestCommand) -> None:
@@ -125,6 +148,9 @@ class MFCClient:
         (:meth:`repro.net.link.Network.start_transfers` is the same
         transaction for direct batch launches).
         """
+        if self.fault_gate is not None and self.fault_gate.client_down(self.client_id):
+            # a dropped-out client never sees the command datagram
+            return
         spawn = self.sim.process
         flow = self._commanded_request
         sample_rtt = self.node.latency_to_target.sample_rtt
@@ -150,6 +176,10 @@ class MFCClient:
             normalized_s=elapsed - base,
         )
         if self.report_sink is not None:
+            if self.fault_gate is not None and self.fault_gate.report_lost(
+                self.client_id
+            ):
+                return
             self.control.send(
                 self.node.latency_to_coord,
                 self.report_sink,
@@ -181,6 +211,20 @@ class MFCClient:
         self.requests_issued += 1
         if rtt is None:
             rtt = self.node.latency_to_target.sample_rtt()
+        if self.fault_gate is not None:
+            disposition = self.fault_gate.request_disposition(self.client_id, rtt)
+            if disposition is not None:
+                kind, extra_delay = disposition
+                if kind == "blackhole":
+                    # the packets vanish; only the kill timer resolves it
+                    yield self.config.request_timeout_s
+                    return Status.CLIENT_TIMEOUT, 0.0, self.config.request_timeout_s
+                if kind == "reset":
+                    # RST after one round trip: fast, explicit failure
+                    yield rtt
+                    return Status.RESET, 0.0, self.sim.now - issued_at
+                # "stall": the handshake is held before it starts
+                yield extra_delay
         request = HTTPRequest(
             method=method,
             path=path,

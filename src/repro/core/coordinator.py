@@ -35,8 +35,18 @@ from repro.core.records import (
 from repro.core.scheduler import DelayEstimates, SyncScheduler, naive_plan
 from repro.core.stages import StagePlan
 from repro.net.control import ControlChannel
+from repro.server.http import Status
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
+
+#: hardened: a degradation verdict whose aggregate lands this close to
+#: the kill timer rests on censored (killed) samples, not on measured
+#: queueing delay — genuine θ-level degradation sits orders of
+#: magnitude below the 10 s timeout
+CENSORED_AGGREGATE_FRACTION = 0.5
+#: hardened mode: an epoch where at least this fraction of reports beat
+#: their own unloaded base by more than θ is built on poisoned bases
+STALE_BASE_FRACTION = 0.10
 
 
 class Coordinator:
@@ -52,10 +62,17 @@ class Coordinator:
         rng: Optional[random.Random] = None,
         use_naive_scheduling: bool = False,
         planner: Optional[PlannerSpec] = None,
+        hardened: bool = False,
     ) -> None:
         config.validate()
         self.sim = sim
         self.clients = list(clients)
+        #: live-target defenses: re-liveness with quarantine, invalid
+        #: epoch retry, safety-abort guard.  Off (the default) keeps the
+        #: event/RNG sequence byte-identical to the unhardened seed.
+        self.hardened = hardened
+        #: client ids the last re-liveness check could not reach
+        self._quarantined: set = set()
         self.control = control
         self.config = config
         self.target_name = target_name
@@ -126,39 +143,387 @@ class Coordinator:
             outcome=StageOutcome.ABORTED,
             started_at=self.sim.now,
         )
+        try:
+            yield from self._stage_body(stage, live, stage_result)
+        except Exception as exc:  # noqa: BLE001 — commit partials, keep going
+            # a mid-stage failure must never eat the epochs already run
+            # or leave a bare ABORTED with no explanation: the epochs
+            # appended so far stay committed on stage_result, and the
+            # reason names the failure
+            stage_result.outcome = StageOutcome.ABORTED
+            stage_result.reason = (
+                f"stage exception: {exc!r} "
+                f"({len(stage_result.epochs)} epochs committed)"
+            )
+        stage_result.ended_at = self.sim.now
+        return stage_result
 
-        estimates = yield from self._delay_computation(stage, live)
+    def _stage_body(
+        self, stage: StagePlan, live: List[MFCClient], stage_result: StageResult
+    ) -> Generator:
+        """Delay computation plus the epoch loop, appending onto
+        *stage_result* as results land (so an abort at any point keeps
+        everything already observed)."""
+        if self.hardened:
+            # a client that died since registration must not hold up
+            # the sequential measurement phase
+            yield from self._reliveness(live, stage_result)
+        skip = frozenset(self._quarantined)
+        estimates = yield from self._delay_computation(stage, live, skip=skip)
         # base measurements: one command per client, each issuing the
         # stage's full connection count against the server
-        stage_result.total_requests += len(live) * stage.connections
+        stage_result.total_requests += len(estimates) * stage.connections
+        if self.hardened:
+            self._quarantine_poisoned_bases(stage, live, estimates, stage_result)
 
         planner = self.planner.make(
             self.config,
             max_feasible_crowd=len(live) * self.config.requests_per_client,
         )
+        epochs_accepted = 0
+        sick_streak = 0
         while True:
+            if (
+                self.hardened
+                and self.config.stage_timeout_s is not None
+                and self.sim.now - stage_result.started_at
+                > self.config.stage_timeout_s
+            ):
+                stage_result.reason = (
+                    f"stage timeout: exceeded the "
+                    f"{self.config.stage_timeout_s:.0f}s budget"
+                )
+                return
+            if self.hardened:
+                # the feasible crowd tracks the *pool*, not the
+                # registration-time fleet: a quarantine-shrunken pool
+                # would otherwise run epochs clamped below the
+                # requested crowd, and the planner — advancing from
+                # the clamped size — would re-request the same crowd
+                # forever
+                planner.max_feasible_crowd = min(
+                    self.config.max_crowd,
+                    len(self._pool(live, estimates))
+                    * self.config.requests_per_client,
+                )
             nxt = planner.next_epoch()
             if nxt is None:
                 break
             crowd, label = nxt
-            epoch = yield from self._run_epoch(stage, crowd, label, live, estimates)
-            stage_result.epochs.append(epoch)
-            # crowd counts synchronized commands; churn stages issue
-            # `connections` sequential server requests per command
-            stage_result.total_requests += crowd * stage.connections
+            attempts = 0
+            while True:
+                pool = self._pool(live, estimates)
+                if self.hardened and len(pool) < self.config.min_clients:
+                    stage_result.reason = (
+                        f"attrition: only {len(pool)} active clients "
+                        f"(need {self.config.min_clients})"
+                    )
+                    return
+                epoch = yield from self._run_epoch(
+                    stage, crowd, label, live, pool, estimates
+                )
+                stage_result.epochs.append(epoch)
+                # crowd counts synchronized commands; churn stages issue
+                # `connections` sequential server requests per command
+                stage_result.total_requests += crowd * stage.connections
+                if not self.hardened:
+                    break
+                problem = self._epoch_problem(epoch)
+                stale_problem = None
+                if problem is None:
+                    problem = stale_problem = self._stale_bases(epoch)
+                if problem is None and epoch.degraded:
+                    # validity gate (the paper's crowd-causality rule):
+                    # degradation only counts as a signal if the site
+                    # is healthy *without* the crowd — an unloaded
+                    # probe degraded too means ambient interference
+                    # (latency storm, middleware stall), not queueing
+                    healthy = yield from self._health_probe(
+                        stage, live, pool, stage_result, epoch
+                    )
+                    if healthy:
+                        sick_streak = 0
+                    else:
+                        sick_streak += 1
+                        if sick_streak >= self.config.safety_abort_checks:
+                            stage_result.reason = (
+                                "safety abort: baseline health degraded "
+                                f"under no load ({sick_streak} consecutive "
+                                "sick probes); backing off "
+                                "(non-intrusiveness)"
+                            )
+                            return
+                        problem = (
+                            "ambient degradation: the unloaded baseline "
+                            "probe is degraded too, so the epoch's signal "
+                            "is not crowd-caused"
+                        )
+                if problem is None:
+                    if not epoch.degraded:
+                        sick_streak = 0
+                    if (
+                        epoch.crowd_size
+                        >= self.config.min_significant_crowd
+                    ):
+                        # only verdict-bearing epochs count: one noisy
+                        # sample out of a 5-request warm-up epoch is
+                        # 20% "attrition" that says nothing about the
+                        # crowds the stopping rule actually reads
+                        stage_result.max_missing_fraction = max(
+                            stage_result.max_missing_fraction,
+                            self._epoch_attrition(epoch),
+                        )
+                        if (
+                            not epoch.degraded
+                            and epoch.aggregate_normalized_s < 0
+                        ):
+                            # a healthy epoch's aggregate quantile has
+                            # no business being negative: its magnitude
+                            # reads the stage's sample noise directly
+                            stage_result.signal_noise_fraction = max(
+                                stage_result.signal_noise_fraction,
+                                -epoch.aggregate_normalized_s
+                                / self.config.threshold_s,
+                            )
+                    break
+                # invalid: keep it for the audit trail, never feed the
+                # planner, re-check liveness and retry the crowd size
+                epoch.label = EpochLabel.INVALID
+                stage_result.invalid_epochs += 1
+                attempts += 1
+                if attempts > self.config.epoch_retry_limit:
+                    stage_result.reason = (
+                        f"invalid epoch at crowd {crowd} after "
+                        f"{attempts} attempts: {problem}"
+                    )
+                    return
+                yield from self._reliveness(live, stage_result)
+                if stale_problem is not None:
+                    # the stage's base measurements are poisoned (taken
+                    # during a transient inflation that has passed):
+                    # every sample normalized against them is suspect,
+                    # including the ones that don't read implausible —
+                    # a stale base plus real queueing cancels into a
+                    # clean-looking number that masks the knee.  The
+                    # only honest recovery is fresh bases for the whole
+                    # pool before retrying the crowd.
+                    fresh = yield from self._delay_computation(
+                        stage, live, skip=frozenset(self._quarantined)
+                    )
+                    stage_result.total_requests += (
+                        len(fresh) * stage.connections
+                    )
+                    estimates.clear()
+                    estimates.update(fresh)
+                    self._quarantine_poisoned_bases(
+                        stage, live, estimates, stage_result
+                    )
             planner.record(epoch)
+            epochs_accepted += 1
+            if self.hardened:
+                if epochs_accepted % self.config.reliveness_every_epochs == 0:
+                    yield from self._reliveness(live, stage_result)
 
         stage_result.outcome = planner.outcome or StageOutcome.NO_STOP
         stage_result.stopping_crowd_size = planner.stopping_crowd_size
         stage_result.earliest_degraded_crowd = planner.earliest_degraded_crowd
         stage_result.reason = planner.reason
-        stage_result.ended_at = self.sim.now
-        return stage_result
+        if (
+            self.hardened
+            and stage_result.outcome is StageOutcome.NO_STOP
+            and planner.max_feasible_crowd
+            < min(
+                self.config.max_crowd,
+                len(live) * self.config.requests_per_client,
+            )
+        ):
+            # the cap the planner actually hit was attrition-shrunken:
+            # "no stop up to N" with N below what the fleet supported
+            # must not pass as evidence of adequacy
+            stage_result.truncated_crowd_cap = planner.max_feasible_crowd
+
+    # -- hardening helpers ------------------------------------------------------------
+
+    def _reliveness(
+        self, live: List[MFCClient], stage_result: Optional[StageResult] = None
+    ) -> Generator:
+        """Re-probe the fleet mid-experiment; quarantine non-responders.
+
+        The quarantine set is fully re-derived each check, so a client
+        that answers again (dropout window closed) rejoins — for the
+        current stage only if it still holds usable base measurements,
+        otherwise at the next stage's delay computation.
+        """
+        answered: List[str] = []
+        for client in live:
+            client.probe(answered.append)
+        yield self.config.liveness_timeout_s
+        alive = set(answered)
+        self._quarantined = {c.client_id for c in live} - alive
+        if stage_result is not None:
+            stage_result.quarantined_clients = max(
+                stage_result.quarantined_clients, len(self._quarantined)
+            )
+
+    def _pool(
+        self, live: List[MFCClient], estimates: Dict[str, DelayEstimates]
+    ) -> List[MFCClient]:
+        """Clients eligible for the next epoch (hardened: responsive
+        and holding trustworthy base measurements)."""
+        if not self.hardened:
+            return live
+        return [
+            c
+            for c in live
+            if c.client_id not in self._quarantined and c.client_id in estimates
+        ]
+
+    def _quarantine_poisoned_bases(
+        self,
+        stage: StagePlan,
+        live: List[MFCClient],
+        estimates: Dict[str, DelayEstimates],
+        stage_result: StageResult,
+    ) -> None:
+        """Drop clients whose base measurement hit the kill timer.
+
+        A timed-out base poisons normalization for the whole stage
+        (every later sample reads ``elapsed - timeout`` ≈ negative, i.e.
+        spuriously clean), so such clients sit the stage out.
+        """
+        for index, client in enumerate(live):
+            if client.client_id not in estimates:
+                continue
+            path = stage.object_for(index)
+            if client.base_times.get(path, 0.0) >= self.config.request_timeout_s:
+                del estimates[client.client_id]
+        stage_result.quarantined_clients = max(
+            stage_result.quarantined_clients,
+            len(live) - len(estimates),
+        )
+
+    def _epoch_attrition(self, epoch: EpochResult) -> float:
+        """Fraction of scheduled reports that produced no usable sample
+        (never arrived, arrived as a sample-free connection reset, or
+        read implausibly fast against a stale base)."""
+        scheduled = max(epoch.crowd_size, 1)
+        usable = sum(
+            1
+            for r in epoch.reports
+            if r.status is not Status.RESET
+            and r.normalized_s >= -self.config.threshold_s
+        )
+        return 1.0 - usable / scheduled
+
+    def _stale_bases(self, epoch: EpochResult) -> Optional[str]:
+        """Detect base measurements poisoned by a transient slowdown.
+
+        A report whose *loaded* response beat its client's unloaded
+        base by more than θ is physically implausible — the base was
+        measured during some transient inflation (latency storm, stall
+        window) that has since passed, and every sample it normalizes
+        will read spuriously clean, masking a real knee.  When a
+        nontrivial fraction of an epoch reads that way, the epoch is
+        invalid; the retry path re-measures the whole pool's bases
+        (a single stale reading is tolerated as measurement noise).
+        """
+        if not epoch.reports:
+            return None
+        stale = sum(
+            1
+            for r in epoch.reports
+            if r.normalized_s < -self.config.threshold_s
+        )
+        floor = max(2, math.ceil(STALE_BASE_FRACTION * len(epoch.reports)))
+        if stale < floor:
+            return None
+        return (
+            f"stale base measurements: {stale} of "
+            f"{len(epoch.reports)} reports came back faster loaded than "
+            "unloaded"
+        )
+
+    def _epoch_problem(self, epoch: EpochResult) -> Optional[str]:
+        """Why this epoch cannot be trusted (None: it can)."""
+        attrition = self._epoch_attrition(epoch)
+        if attrition > self.config.max_epoch_attrition:
+            return (
+                f"lost {attrition:.0%} of scheduled reports "
+                f"(limit {self.config.max_epoch_attrition:.0%})"
+            )
+        censor_floor = CENSORED_AGGREGATE_FRACTION * self.config.request_timeout_s
+        if epoch.degraded and epoch.aggregate_normalized_s > censor_floor:
+            return (
+                "degradation signal rests on killed requests (aggregate "
+                f"{epoch.aggregate_normalized_s:.1f}s vs the "
+                f"{self.config.request_timeout_s:.0f}s kill timer)"
+            )
+        return None
+
+    def _health_probe(
+        self,
+        stage: StagePlan,
+        live: List[MFCClient],
+        pool: List[MFCClient],
+        stage_result: StageResult,
+        epoch: Optional[EpochResult] = None,
+    ) -> Generator:
+        """One unloaded request after a degraded epoch (paper's
+        non-intrusiveness rule): if the target is slow even with no
+        crowd, the degradation is not ours to probe further.
+
+        The probes go through the clients that *carried* the
+        degradation signal — the worst normalized samples of the epoch
+        — not arbitrary ones: under a partial-fleet disturbance (a
+        stall or latency storm hitting half the clients) an unaffected
+        bystander would report the site healthy while the signal
+        clients are ambiently slow, and the fake knee would be
+        accepted.  Conversely one probe is not allowed to overturn the
+        epoch on its own — a single unloaded request can hit transient
+        server noise — so "ambient" takes two independent sick reads
+        (the two worst carriers); any healthy probe accepts the epoch.
+        """
+        if not pool:
+            return False
+        by_id = {c.client_id: c for c in pool}
+        reports = sorted(
+            (r for r in (epoch.reports if epoch else []) if r.client_id in by_id),
+            key=lambda r: r.normalized_s,
+            reverse=True,
+        )
+        probers: List[MFCClient] = []
+        for report in reports:
+            client = by_id[report.client_id]
+            if client not in probers:
+                probers.append(client)
+            if len(probers) == 2:
+                break
+        if not probers:
+            probers = [pool[0]]
+        for client in probers:
+            index = live.index(client)
+            status, normalized = yield from client.probe_unloaded(
+                stage.object_for(index),
+                stage.method,
+                body_bytes=stage.body_bytes,
+                connections=stage.connections,
+            )
+            stage_result.total_requests += stage.connections
+            if status is Status.OK and normalized <= self.config.threshold_s:
+                return True
+        return False
 
     def _delay_computation(
-        self, stage: StagePlan, live: List[MFCClient]
+        self, stage: StagePlan, live: List[MFCClient], skip: frozenset = frozenset()
     ) -> Generator:
-        """Measure T_coord / T_target / base response times (§2.2.4)."""
+        """Measure T_coord / T_target / base response times (§2.2.4).
+
+        *skip* (hardened re-liveness quarantine) names clients left out
+        of the sequential measurements — an unreachable client must not
+        stall the phase for a kill-timer interval per probe.  Object
+        assignment stays indexed by position in *live*, so skipping
+        never shifts anyone else's object.
+        """
         estimates: Dict[str, DelayEstimates] = {}
         # T_coord: coordinator pings every client in parallel
         coord_rtts: Dict[str, float] = {}
@@ -172,6 +537,8 @@ class Coordinator:
         # T_target + base response times: strictly sequential so the
         # measurements do not impact each other (§2.2.3)
         for index, client in enumerate(live):
+            if client.client_id in skip:
+                continue
             target_rtt = yield from client.measure_target_rtt()
             path = stage.object_for(index)
             yield from client.measure_base(
@@ -204,13 +571,14 @@ class Coordinator:
         crowd: int,
         label: EpochLabel,
         live: List[MFCClient],
+        pool: List[MFCClient],
         estimates: Dict[str, DelayEstimates],
     ) -> Generator:
         self._epoch_seq += 1
         epoch_key = (stage.name, self._epoch_seq)
         m = self.config.requests_per_client
-        n_clients = min(math.ceil(crowd / m), len(live))
-        participants = self._select_participants(live, n_clients)
+        n_clients = min(math.ceil(crowd / m), len(pool))
+        participants = self._select_participants(pool, n_clients)
         scheduled_requests = n_clients * m
 
         part_estimates = [estimates[c.client_id] for c in participants]
@@ -262,10 +630,24 @@ class Coordinator:
             reports=reports,
             missing_reports=scheduled_requests - len(reports),
         )
-        if reports:
+        # connection resets carry no timing sample (the fault-injection
+        # RESET sentinel); fault-free runs never see one, so the filter
+        # is a byte-identical no-op there
+        samples = [r for r in reports if r.status is not Status.RESET]
+        if self.hardened:
+            # a loaded response that beat its own unloaded base by more
+            # than θ is physically implausible — its base was measured
+            # during a transient inflation, and folding it into the
+            # quantile drags the aggregate down and masks a real knee.
+            # Hardened mode treats such samples as carrying no usable
+            # timing information (they still count toward attrition).
+            samples = [
+                r for r in samples if r.normalized_s >= -self.config.threshold_s
+            ]
+        if samples:
             # one sort per epoch: every statistic computed over this
             # epoch's normalized times reads the same ordered sample
-            ordered = sorted(r.normalized_s for r in reports)
+            ordered = sorted(r.normalized_s for r in samples)
             epoch.aggregate_normalized_s = degradation_aggregate_sorted(
                 ordered, stage.degradation_quantile
             )

@@ -38,6 +38,24 @@ class Provisioning(enum.Enum):
     CONSTRAINED = "constrained"
     ADEQUATE = "adequate"            # NoStop up to the tested crowd
     UNKNOWN = "unknown"              # stage skipped/aborted
+    #: the stage ran to an outcome, but its hardening annotations
+    #: (report attrition, retried epochs) say the sample is too thin to
+    #: trust either way — explicitly not a guess
+    INCONCLUSIVE = "inconclusive"
+
+
+#: downgrade a stage verdict to INCONCLUSIVE once this fraction of its
+#: scheduled reports went missing in some accepted epoch at a
+#: statistically significant crowd: the surviving sample may be biased
+#: toward whichever clients stayed reachable, and near the knee the
+#: thinned quantile jitters across θ
+ATTRITION_INCONCLUSIVE = 0.25
+
+#: downgrade a stage verdict to INCONCLUSIVE once the stage's observed
+#: sample noise (worst negative clean-epoch aggregate) reaches this
+#: fraction of θ: a knee call on top of noise spikes rivaling the
+#: threshold is a coin flip, not a measurement
+NOISE_INCONCLUSIVE = 0.5
 
 
 def subsystem_for(stage_name: str) -> str:
@@ -91,10 +109,28 @@ class ConstraintReport:
 
 
 def _verdict(stage: StageResult) -> Provisioning:
-    if stage.outcome is StageOutcome.STOPPED:
-        return Provisioning.CONSTRAINED
-    if stage.outcome is StageOutcome.NO_STOP:
-        return Provisioning.ADEQUATE
+    if stage.outcome in (StageOutcome.STOPPED, StageOutcome.NO_STOP):
+        if stage.max_missing_fraction >= ATTRITION_INCONCLUSIVE:
+            # enough reports vanished that the surviving sample may be
+            # biased: report "we could not tell", never a guess
+            return Provisioning.INCONCLUSIVE
+        if stage.signal_noise_fraction >= NOISE_INCONCLUSIVE:
+            # the stage's sample noise rivals θ: a spike can fake a
+            # knee and a dip can mask one, in either direction
+            return Provisioning.INCONCLUSIVE
+        if (
+            stage.outcome is StageOutcome.NO_STOP
+            and stage.truncated_crowd_cap is not None
+        ):
+            # client attrition shrank the crowd cap mid-stage: the
+            # stage only proved "no stop up to the shrunken cap",
+            # which may sit below the site's real knee
+            return Provisioning.INCONCLUSIVE
+        return (
+            Provisioning.CONSTRAINED
+            if stage.outcome is StageOutcome.STOPPED
+            else Provisioning.ADEQUATE
+        )
     return Provisioning.UNKNOWN
 
 
@@ -112,32 +148,53 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
     for name, stage in result.stages.items():
         report.verdicts[name] = _verdict(stage)
         report.stopping_sizes[name] = stage.stopping_crowd_size
+        if report.verdicts[name] is Provisioning.INCONCLUSIVE:
+            if stage.max_missing_fraction >= ATTRITION_INCONCLUSIVE:
+                report.diagnoses.append(
+                    f"{name}: inconclusive — lost "
+                    f"{stage.max_missing_fraction:.0%} of scheduled reports "
+                    "in an accepted epoch; the outcome is not trusted "
+                    "either way."
+                )
+            elif stage.signal_noise_fraction >= NOISE_INCONCLUSIVE:
+                report.diagnoses.append(
+                    f"{name}: inconclusive — sample noise reached "
+                    f"{stage.signal_noise_fraction:.0%} of the degradation "
+                    "threshold; a knee call on this stage would be a coin "
+                    "flip."
+                )
+            else:
+                report.diagnoses.append(
+                    f"{name}: inconclusive — attrition cut the feasible "
+                    f"crowd to {stage.truncated_crowd_cap}; a NoStop below "
+                    "the intended cap is not evidence of adequacy."
+                )
+        elif stage.outcome is StageOutcome.ABORTED and stage.reason:
+            report.diagnoses.append(f"{name}: aborted — {stage.reason}")
 
-    base = result.stages.get(StageKind.BASE.value)
+    # comparative diagnoses read the (possibly downgraded) verdicts, so
+    # an inconclusive or aborted stage never anchors a diagnosis
+    def _stopped(name: str) -> bool:
+        return report.verdicts.get(name) is Provisioning.CONSTRAINED
+
+    def _no_stop(name: str) -> bool:
+        return report.verdicts.get(name) is Provisioning.ADEQUATE
+
     query = result.stages.get(StageKind.SMALL_QUERY.value)
-    large = result.stages.get(StageKind.LARGE_OBJECT.value)
     upload = result.stages.get("Upload")
     churn = result.stages.get("ConnChurn")
     bust = result.stages.get("CacheBust")
 
     # Univ-3 style: request handling vs bandwidth disambiguation
-    if (
-        base is not None
-        and large is not None
-        and base.outcome is StageOutcome.STOPPED
-        and large.outcome is StageOutcome.NO_STOP
-    ):
+    if _stopped(StageKind.BASE.value) and _no_stop(StageKind.LARGE_OBJECT.value):
         report.diagnoses.append(
             "Base degrades while Large Object does not: the constraint is "
             "request handling, not access bandwidth."
         )
 
     # §6: application-level DDoS exposure via the back end
-    if (
-        query is not None
-        and large is not None
-        and query.outcome is StageOutcome.STOPPED
-        and large.outcome is StageOutcome.NO_STOP
+    if _stopped(StageKind.SMALL_QUERY.value) and _no_stop(
+        StageKind.LARGE_OBJECT.value
     ):
         report.diagnoses.append(
             f"back-end data processing keels over at only "
@@ -150,12 +207,7 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
 
     # storage vs bandwidth: cache-busted reads fold while the cached
     # Large Object recipe absorbs the same crowd
-    if (
-        bust is not None
-        and large is not None
-        and bust.outcome is StageOutcome.STOPPED
-        and large.outcome is StageOutcome.NO_STOP
-    ):
+    if _stopped("CacheBust") and _no_stop(StageKind.LARGE_OBJECT.value):
         report.diagnoses.append(
             f"cache-busted reads stop at {bust.stopping_crowd_size} while the "
             "cached Large Object absorbs the tested load: the constraint is "
@@ -164,12 +216,7 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
         )
 
     # accept path vs request processing
-    if (
-        churn is not None
-        and base is not None
-        and churn.outcome is StageOutcome.STOPPED
-        and base.outcome is StageOutcome.NO_STOP
-    ):
+    if _stopped("ConnChurn") and _no_stop(StageKind.BASE.value):
         report.diagnoses.append(
             f"connection churn stops at {churn.stopping_crowd_size} while "
             "plain request handling does not: the accept/FD path, not "
@@ -177,12 +224,7 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
         )
 
     # write path vs read-side back end
-    if (
-        upload is not None
-        and query is not None
-        and upload.outcome is StageOutcome.STOPPED
-        and query.outcome is StageOutcome.NO_STOP
-    ):
+    if _stopped("Upload") and _no_stop(StageKind.SMALL_QUERY.value):
         report.diagnoses.append(
             f"uploads stop at {upload.stopping_crowd_size} while read "
             "queries absorb the tested load: the write path (body intake, "
@@ -192,8 +234,8 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
     # Univ-2 style: all stages stop at about the same crowd
     stopped = [
         s.stopping_crowd_size
-        for s in result.stages.values()
-        if s.outcome is StageOutcome.STOPPED and s.stopping_crowd_size
+        for name, s in result.stages.items()
+        if _stopped(name) and s.stopping_crowd_size
     ]
     if len(stopped) >= 2 and len(stopped) == len(result.stages):
         lo, hi = min(stopped), max(stopped)
@@ -210,16 +252,14 @@ def infer_constraints(result: MFCResult, similar_ratio: float = 1.4) -> Constrai
         name, stage = item
         stop = (
             stage.stopping_crowd_size
-            if stage.outcome is StageOutcome.STOPPED and stage.stopping_crowd_size
+            if _stopped(name) and stage.stopping_crowd_size
             else float("inf")
         )
         return (stop, name)
 
     ranked = sorted(result.stages.items(), key=sort_key)
     report.ddos_vulnerability_order = [
-        subsystem_for(name)
-        for name, stage in ranked
-        if stage.outcome is StageOutcome.STOPPED
+        subsystem_for(name) for name, stage in ranked if _stopped(name)
     ]
     return report
 

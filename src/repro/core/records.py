@@ -37,6 +37,11 @@ class EpochLabel(enum.Enum):
     CHECK_MINUS = "check-"     # N−1 confirmation crowd
     CHECK_REPEAT = "check="    # repeat at N
     CHECK_PLUS = "check+"      # N+1 confirmation crowd
+    #: hardened coordinator: the epoch lost too many reports (or its
+    #: degradation signal rested on killed requests) and was retried —
+    #: recorded for the audit trail, never fed to the planner and never
+    #: part of the tracking curve
+    INVALID = "invalid"
 
 
 @dataclass
@@ -91,6 +96,27 @@ class StageResult:
     #: cache records whose epoch list has been dropped
     max_crowd_tested: Optional[int] = None
     n_epochs_recorded: Optional[int] = None
+    # -- hardening annotations (set only by the hardened coordinator;
+    # zero on every legacy path, and the campaign codec omits them at
+    # zero so historical encodings are byte-identical) ----------------
+    #: epochs rejected (attrition / censored signal) and retried
+    invalid_epochs: int = 0
+    #: peak number of clients quarantined by re-liveness checks
+    quarantined_clients: int = 0
+    #: worst missing-report fraction among *accepted* epochs
+    max_missing_fraction: float = 0.0
+    #: set when a NO_STOP ended at a crowd cap that client attrition
+    #: pushed below what the registered fleet supported — "no stop up
+    #: to N" with N shrunken is not evidence of adequacy, and the
+    #: inference layer downgrades the verdict to inconclusive
+    truncated_crowd_cap: Optional[int] = None
+    #: worst *negative* clean-epoch aggregate at a significant crowd,
+    #: as a fraction of θ.  The aggregate quantile of a healthy epoch
+    #: cannot be meaningfully negative, so its magnitude is a direct
+    #: read of the stage's sample noise; once it rivals θ, a stop (or
+    #: a NoStop) is a coin flip on noise spikes and the inference
+    #: layer downgrades the verdict to inconclusive
+    signal_noise_fraction: float = 0.0
 
     @property
     def duration_s(self) -> float:

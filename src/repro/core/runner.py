@@ -51,6 +51,7 @@ class MFCRunner:
         monitor: Optional[ResourceMonitor],
         scenario: Optional[Scenario],
         world_spec=None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -66,6 +67,9 @@ class MFCRunner:
         #: the :class:`~repro.worlds.spec.WorldSpec` this world was
         #: assembled from (None for hand-wired worlds)
         self.world_spec = world_spec
+        #: the :class:`~repro.faults.inject.FaultInjector` scheduled on
+        #: this world (None for fault-free worlds)
+        self.faults = faults
 
     # -- construction ---------------------------------------------------------
 
@@ -83,6 +87,7 @@ class MFCRunner:
         control_loss_prob: float = 0.0,
         use_naive_scheduling: bool = False,
         bottleneck_capacity_bps: Optional[float] = None,
+        faults=None,
     ) -> "MFCRunner":
         """Assemble a world (thin wrapper over ``WorldSpec.build()``).
 
@@ -109,6 +114,7 @@ class MFCRunner:
             control_loss_prob=control_loss_prob,
             use_naive_scheduling=use_naive_scheduling,
             bottleneck_capacity_bps=bottleneck_capacity_bps,
+            faults=faults,
         ).build()
 
     # -- execution ------------------------------------------------------------
@@ -119,6 +125,8 @@ class MFCRunner:
             self.background.start()
         if self.monitor is not None:
             self.monitor.start()
+        if self.faults is not None:
+            self.faults.start()
         proc = self.coordinator.run(self.stages)
         result = self.sim.run_until_complete(proc, limit=time_limit_s)
         if self.background is not None:

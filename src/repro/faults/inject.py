@@ -1,0 +1,181 @@
+"""The fault-injection runtime.
+
+``WorldSpec.build()`` constructs one :class:`FaultInjector` per faulted
+world, seeded from the world's dedicated ``"faults"`` RNG stream (so
+fault-free worlds draw identical sequences from every other stream).
+The injector plays two roles:
+
+- **scheduler** — window edges with global effect (server crash and
+  restart, access-link bandwidth flaps) are posted on the sim kernel
+  by :meth:`start`, called from ``MFCRunner.run``;
+- **gate** — every :class:`~repro.core.client.MFCClient` holds a
+  reference to the injector as its ``fault_gate`` and consults it at
+  the natural interposition points: liveness probes
+  (:meth:`client_down`), request issue (:meth:`request_disposition`),
+  and report send (:meth:`report_lost`).  A ``fault_gate`` of ``None``
+  (every fault-free world) short-circuits to the historical behavior,
+  keeping those runs byte-identical.
+
+Which clients a fractional event hits is drawn once, up front, from
+the injector's RNG over the *sorted* client ids — deterministic under
+one seed regardless of fleet construction order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults import spec as fspec
+from repro.faults.spec import FaultEvent, FaultSpec
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultSpec` onto one assembled world."""
+
+    def __init__(
+        self,
+        sim,
+        fault_spec: FaultSpec,
+        *,
+        clients,
+        servers,
+        network,
+        access_link,
+        rng,
+    ):
+        fault_spec.validate()
+        self.sim = sim
+        self.spec = fault_spec
+        self.servers = list(servers)
+        self.network = network
+        self.access_link = access_link
+        self._rng = rng
+        #: kind → times the fault actually fired (requests blackholed,
+        #: reports dropped, crashes, flaps, ...)
+        self.stats: Counter = Counter()
+        self._started = False
+        self._nominal_capacity = (
+            access_link.capacity_bps if access_link is not None else None
+        )
+
+        ids = sorted(c.client_id for c in clients)
+        #: (event, affected client ids or None for "all")
+        self._plans: List[Tuple[FaultEvent, Optional[frozenset]]] = []
+        for event in fault_spec.events:
+            affected = None
+            if event.kind in fspec.CLIENT_SCOPED_KINDS and event.fraction < 1.0:
+                count = max(1, round(event.fraction * len(ids)))
+                affected = frozenset(self._rng.sample(ids, count))
+            self._plans.append((event, affected))
+
+    # -- scheduling -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Post window edges with global effect on the sim kernel."""
+        if self._started:
+            return
+        self._started = True
+        for event, _affected in self._plans:
+            if event.kind == fspec.SERVER_CRASH:
+                self.sim.call_at(event.start_s, self._crash_servers)
+                self.sim.call_at(event.end_s, self._restart_servers)
+            elif event.kind == fspec.BANDWIDTH_FLAP:
+                self.sim.call_at(
+                    event.start_s, lambda e=event: self._flap_down(e.factor)
+                )
+                self.sim.call_at(event.end_s, self._flap_restore)
+
+    def _crash_servers(self) -> None:
+        for server in self.servers:
+            server.crash()
+        self.stats["server-crash"] += 1
+
+    def _restart_servers(self) -> None:
+        for server in self.servers:
+            server.restart()
+        self.stats["server-restart"] += 1
+
+    def _flap_down(self, _factor: float) -> None:
+        self._apply_flap_capacity()
+        self.stats["bandwidth-flap"] += 1
+
+    def _flap_restore(self) -> None:
+        self._apply_flap_capacity()
+        self.stats["bandwidth-restore"] += 1
+
+    def _apply_flap_capacity(self) -> None:
+        # recompute from the nominal capacity and the set of still-open
+        # flap windows, so overlapping flaps compose instead of
+        # clobbering each other (a window is closed at its own end edge:
+        # active_at() is half-open)
+        divisor = 1.0
+        for event, _affected in self._plans:
+            if event.kind == fspec.BANDWIDTH_FLAP and event.active_at(self.sim.now):
+                divisor *= event.factor
+        self.network.set_capacity(self.access_link, self._nominal_capacity / divisor)
+
+    # -- client gate ----------------------------------------------------------
+
+    def _hits(self, event: FaultEvent, affected, client_id: str) -> bool:
+        return event.active_at(self.sim.now) and (
+            affected is None or client_id in affected
+        )
+
+    def client_down(self, client_id: str) -> bool:
+        """True while *client_id* is inside an open dropout window."""
+        for event, affected in self._plans:
+            if event.kind == fspec.CLIENT_DROPOUT and self._hits(
+                event, affected, client_id
+            ):
+                return True
+        return False
+
+    def request_disposition(
+        self, client_id: str, rtt: float
+    ) -> Optional[Tuple[str, float]]:
+        """Fate of one request issued now by *client_id*.
+
+        Returns ``None`` (proceed normally), ``("blackhole", 0)``,
+        ``("reset", 0)``, or ``("stall", extra_delay_s)``.  Blackhole
+        wins over reset wins over stalls; stall delays from concurrent
+        windows accumulate.
+        """
+        extra = 0.0
+        for event, affected in self._plans:
+            if not self._hits(event, affected, client_id):
+                continue
+            kind = event.kind
+            if kind in (fspec.CLIENT_DROPOUT, fspec.BLACKHOLE):
+                if kind == fspec.CLIENT_DROPOUT or self._roll(event):
+                    self.stats["blackhole"] += 1
+                    return ("blackhole", 0.0)
+            elif kind == fspec.RESET:
+                if self._roll(event):
+                    self.stats["reset"] += 1
+                    return ("reset", 0.0)
+            elif kind == fspec.STALL:
+                if self._roll(event):
+                    extra += event.delay_s
+            elif kind == fspec.LATENCY_STORM:
+                extra += (event.factor - 1.0) * rtt
+        if extra > 0.0:
+            self.stats["stall"] += 1
+            return ("stall", extra)
+        return None
+
+    def report_lost(self, client_id: str) -> bool:
+        """True when the report *client_id* is about to send gets dropped."""
+        for event, affected in self._plans:
+            if event.kind == fspec.REPORT_LOSS and self._hits(
+                event, affected, client_id
+            ):
+                if self._roll(event):
+                    self.stats["report-loss"] += 1
+                    return True
+        return False
+
+    def _roll(self, event: FaultEvent) -> bool:
+        # skip the RNG draw for sure-thing events so sparse plans stay
+        # cheap; the stream is private to faults either way
+        return event.prob >= 1.0 or self._rng.random() < event.prob

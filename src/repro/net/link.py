@@ -306,6 +306,18 @@ class Network:
         transfer.done._defused = True  # abort is intentional; waiter optional
         self._mark_dirty()
 
+    def set_capacity(self, link: Link, capacity_bps: float) -> None:
+        """Change *link*'s capacity mid-run (fault injection: bandwidth
+        flaps).  In-flight transfers are re-allocated at the next
+        instant boundary, exactly as when a flow joins or leaves."""
+        if capacity_bps <= 0:
+            raise ValueError("link capacity must be positive")
+        if link.capacity_bps == capacity_bps:
+            return
+        self._advance()
+        link.capacity_bps = capacity_bps
+        self._mark_dirty()
+
     # -- internals ----------------------------------------------------------------
 
     def _join(self, transfer: Transfer) -> None:

@@ -41,6 +41,9 @@ class Status(enum.IntEnum):
     SERVICE_UNAVAILABLE = 503
     #: client-side sentinel: the 10 s timeout killed the request
     CLIENT_TIMEOUT = 598
+    #: client-side sentinel: the connection died with a reset (fault
+    #: injection); carries no usable timing sample
+    RESET = 599
 
 
 @dataclass

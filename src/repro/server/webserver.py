@@ -43,6 +43,7 @@ from repro.server.http import (
     split_cache_bust,
 )
 from repro.server.resources import ServerResources, ServerSpec
+from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.sim.resources import Resource
@@ -88,6 +89,27 @@ class SimWebServer:
         # until the burst rate falls to a quarter of the threshold.
         self._thrashing = False
         self._recent_arrivals: deque = deque()
+        #: fault injection: a crashed box answers nothing (no RST, no
+        #: 503) until :meth:`restart` brings it back with cold caches
+        self.crashed = False
+        self.crash_count = 0
+
+    # -- fault injection ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the box down: every in-flight and new request hangs
+        unanswered (clients observe their own kill timers, exactly as
+        against a dead host)."""
+        self.crashed = True
+        self.crash_count += 1
+
+    def restart(self) -> None:
+        """Bring the box back with cold caches and a clean burst window."""
+        self.crashed = False
+        self.object_cache.clear()
+        self.response_cache.clear()
+        self._thrashing = False
+        self._recent_arrivals.clear()
 
     # -- public interface ---------------------------------------------------------
 
@@ -107,6 +129,10 @@ class SimWebServer:
     def _handle(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Generator:
         arrival = self.sim.now
         try:
+            if self.crashed:
+                # a dead host never answers: park on an event that never
+                # triggers and let the client's kill timer resolve it
+                yield Event(self.sim)
             threshold = self.spec.accept_thrash_threshold
             if threshold is not None:
                 # a synchronized crowd lands N arrivals on this very

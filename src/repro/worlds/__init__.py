@@ -23,6 +23,7 @@ from repro.worlds.codec import (
     stable_key,
 )
 from repro.worlds.registry import (
+    FAULT_PRESETS,
     FLEET_PRESETS,
     SCENARIO_PRESETS,
     SYNTHETIC_MODELS,
@@ -31,6 +32,7 @@ from repro.worlds.registry import (
 from repro.worlds.spec import N_BACKGROUND_CLIENTS, SyntheticSpec, WorldSpec
 
 __all__ = [
+    "FAULT_PRESETS",
     "FLEET_PRESETS",
     "N_BACKGROUND_CLIENTS",
     "SCENARIO_PRESETS",

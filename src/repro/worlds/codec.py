@@ -57,7 +57,23 @@ COSMETIC_FIELDS: Dict[str, Set[str]] = {
 #: default", so old documents and new omit-at-default documents are
 #: the same bytes.
 DEFAULT_OMITTED_FIELDS: Dict[str, Dict[str, object]] = {
-    "WorldSpec": {"stages": None, "planner": None, "indicator": False},
+    "WorldSpec": {
+        "stages": None,
+        "planner": None,
+        "indicator": False,
+        "faults": None,
+    },
+    # the PR-9 hardening knobs: omitted at their defaults so every
+    # config-bearing job key and spec hash written before they existed
+    # stays byte-stable
+    "MFCConfig": {
+        "hardening": None,
+        "reliveness_every_epochs": 1,
+        "max_epoch_attrition": 0.5,
+        "epoch_retry_limit": 2,
+        "safety_abort_checks": 2,
+        "stage_timeout_s": None,
+    },
 }
 
 #: spec types whose *canonical* (hashing-form) document is memoized on

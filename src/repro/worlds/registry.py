@@ -12,6 +12,10 @@ the registries below:
   by name.  Each entry is a factory ``(sim, **params) -> model`` so
   models that need simulated time (the transient-busy ablation model)
   can close over the kernel; pure models ignore it.
+- :data:`FAULT_PRESETS` (re-exported from :mod:`repro.faults.spec`) —
+  named fault plans a spec or ``repro run --faults NAME`` can attach.
+  Importing the registry also registers the fault dataclasses with the
+  codec, so any JSON world document carrying a fault plan decodes.
 
 The registries are extensible at runtime (:func:`register_synthetic_model`)
 — an external experiment can name its own server model and still drive
@@ -22,7 +26,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.faults.spec import (  # noqa: F401  (FAULT_PRESETS: registry re-export)
+    FAULT_PRESETS,
+    FaultEvent,
+    FaultSpec,
+)
 from repro.server import presets
+from repro.worlds import codec
+
+# the fault dataclasses live below the worlds layer (so the faults
+# package imports cleanly on its own); registering them here gives any
+# JSON world document carrying a fault plan a decode path
+codec.register_spec_type(FaultEvent)
+codec.register_spec_type(FaultSpec)
 from repro.server.synthetic import (
     ResponseTimeModel,
     exponential_model,

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.config import MFCConfig
 from repro.core.epochs import PlannerSpec
 from repro.core.stages import StageKind, validate_stage_names
+from repro.faults.spec import FaultSpec
 from repro.server.http import HEADER_BYTES
 from repro.server.presets import Scenario
 from repro.workload.fleet import FleetSpec
@@ -103,6 +104,10 @@ class WorldSpec:
     bottleneck_capacity_bps: Optional[float] = None
     #: override the scenario's background request rate (requests/second)
     background_rps: Optional[float] = None
+    #: seed-deterministic fault plan (:mod:`repro.faults`); scenario MFC
+    #: worlds only.  Also flips the coordinator into hardened mode
+    #: unless ``config.hardening`` says otherwise.
+    faults: Optional[FaultSpec] = None
     #: free-form annotation — cosmetic, never hashed
     notes: str = ""
 
@@ -159,6 +164,19 @@ class WorldSpec:
             validate_stage_names(self.stages)
         if self.planner is not None:
             self.planner.validate()
+        if self.faults is not None:
+            self.faults.validate()
+            if self.synthetic is not None:
+                raise ValueError(
+                    "fault injection targets a scenario world (real "
+                    "clients, servers, links); synthetic worlds model "
+                    "the server as a response-time curve"
+                )
+            if self.indicator:
+                raise ValueError(
+                    "the indicator pass has no coordinator to harden; "
+                    "inject faults into full MFC worlds"
+                )
         if self.indicator:
             if self.synthetic is not None:
                 raise ValueError(
@@ -293,6 +311,26 @@ class WorldSpec:
             )
             for node in fleet_nodes
         ]
+        injector = None
+        if self.faults is not None:
+            from repro.faults.inject import FaultInjector
+
+            injector = FaultInjector(
+                sim,
+                self.faults,
+                clients=clients,
+                servers=servers,
+                network=topology.network,
+                access_link=topology.server_access,
+                rng=rngs.stream("faults"),
+            )
+            for client in clients:
+                client.fault_gate = injector
+        hardened = (
+            self.config.hardening
+            if self.config.hardening is not None
+            else self.faults is not None
+        )
         coordinator = Coordinator(
             sim,
             clients,
@@ -302,6 +340,7 @@ class WorldSpec:
             rng=rngs.stream("coordinator"),
             use_naive_scheduling=self.use_naive_scheduling,
             planner=self.planner,
+            hardened=hardened,
         )
         background = BackgroundTraffic(
             sim,
@@ -339,6 +378,7 @@ class WorldSpec:
             monitor=monitor,
             scenario=scenario,
             world_spec=self,
+            faults=injector,
         )
 
     def _build_indicator(self):
@@ -496,6 +536,7 @@ class WorldSpec:
             rng=rngs.stream("coordinator"),
             use_naive_scheduling=self.use_naive_scheduling,
             planner=self.planner,
+            hardened=bool(self.config.hardening),
         )
         stage = StagePlan(
             name=StageKind.BASE.value,

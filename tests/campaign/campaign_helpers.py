@@ -12,3 +12,28 @@ def double(x):
 
 def boom():
     raise RuntimeError("job failure propagates to the caller")
+
+
+def hang(seconds=60.0):
+    """Blocks far past any test timeout — the watchdog must kill it."""
+    import time
+
+    time.sleep(seconds)
+    return {"hung": False}
+
+
+def flaky(marker_path, fail_times=1):
+    """Fails the first *fail_times* calls, then succeeds.
+
+    Attempt state lives in a file so the count survives worker
+    processes; tests pass a path inside ``tmp_path``.
+    """
+    from pathlib import Path
+
+    marker = Path(marker_path)
+    attempts = int(marker.read_text()) if marker.exists() else 0
+    attempts += 1
+    marker.write_text(str(attempts))
+    if attempts <= fail_times:
+        raise RuntimeError(f"flaky failure {attempts}/{fail_times}")
+    return {"attempts": attempts}

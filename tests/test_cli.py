@@ -434,3 +434,89 @@ def test_perf_without_baseline_succeeds_with_hint(tmp_path, monkeypatch, capsys)
     _stub_perf_suites(monkeypatch)
     assert main(["perf", "--out", str(tmp_path)]) == 0
     assert "record one with --update-baseline" in capsys.readouterr().out
+
+
+# -- faults: repro run --faults / repro chaos / campaign --fsck ----------------
+
+
+def test_run_faults_flag_injects_and_stays_deterministic(capsys):
+    args = ["run", "lab", "--max-crowd", "15", "--clients", "55",
+            "--stage", "base", "--quiet", "--seed", "4"]
+    assert main(args) == 0
+    clean = capsys.readouterr().out
+    assert main(args + ["--faults", "dropout"]) == 0
+    faulted = capsys.readouterr().out
+    assert faulted.startswith("Base\t")
+    # same seed, same plan: identical run; the plan itself perturbs it
+    assert main(args + ["--faults", "dropout"]) == 0
+    assert capsys.readouterr().out == faulted
+    assert main(args + ["--faults", "report-loss"]) == 0
+    assert capsys.readouterr().out != clean or faulted != clean
+
+
+def test_spec_dump_carries_the_fault_plan(capsys, tmp_path):
+    document = tmp_path / "faulted.json"
+    assert main([
+        "spec", "dump", "lab", "--faults", "stall", "--faults", "crash",
+        "--out", str(document),
+    ]) == 0
+    capsys.readouterr()
+    doc = json.loads(document.read_text())
+    kinds = [e["kind"] for e in doc["faults"]["events"]]
+    assert kinds == ["stall", "server-crash"]
+    # the flag is a world flag: --spec refuses it like any other
+    assert main(["run", "--spec", str(document), "--faults", "stall"]) == 2
+    assert "--faults" in capsys.readouterr().err
+
+
+def test_parser_rejects_unknown_fault_preset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "lab", "--faults", "gremlins"])
+
+
+def test_list_json_includes_fault_presets(capsys):
+    assert main(["list", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    presets = doc["fault_presets"]
+    assert "dropout" in presets and "crash" in presets
+    assert presets["stall"]["events"][0]["kind"] == "stall"
+
+
+def test_chaos_quick_passes_and_is_machine_readable(capsys, tmp_path):
+    cache = str(tmp_path / "chaos.cache")
+    assert main(["chaos", "--quick", "--json", "--cache", cache]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["counts"]["silently_wrong"] == 0
+    assert report["counts"]["worlds"] == 8
+    # the cached rerun renders the identical human report, exit 0
+    assert main(["chaos", "--quick", "--cache", cache, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "silently_wrong=0" in out
+    assert "SILENTLY WRONG" not in out
+
+
+def test_campaign_fsck_reports_and_gates(capsys, tmp_path):
+    from repro.campaign.store import ResultStore
+
+    cache = tmp_path / "study.cache"
+    store = ResultStore(cache)
+    store.append({
+        "key": "aa01", "job_id": "aa01", "meta": {}, "detail": "summary",
+        "elapsed_s": 0.1, "result": {"kind": "value", "value": 1},
+    })
+    assert main(["campaign", "--fsck", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "1 live record(s)" in out
+    assert "0 corrupt" in out
+    # mid-file damage: nonzero exit and a pointer at --compact
+    path = store.shard_paths()[0]
+    path.write_text('{"broken\n' + path.read_text())
+    assert main(["campaign", "--fsck", str(cache)]) == 1
+    captured = capsys.readouterr()
+    assert "CORRUPT" in captured.out
+    assert "--compact" in captured.err
+
+
+def test_campaign_fsck_missing_store_fails(capsys, tmp_path):
+    assert main(["campaign", "--fsck", str(tmp_path / "absent")]) == 1
+    assert "no store" in capsys.readouterr().err
