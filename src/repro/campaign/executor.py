@@ -71,6 +71,14 @@ INDICATOR_JOB_COST = 15.0
 #: stage count assumed when a job does not restrict stages (the
 #: default three-stage probe), so single-stage jobs cost a third
 DEFAULT_STAGE_COUNT = 3
+#: fault plans and hardening add live-target defenses (unresponsive
+#: sweeps, check-phase re-runs, injector bookkeeping) on top of the
+#: clean ramp — the chaos grid runs ~1.3x the clean wall time
+HARDENED_COST_FACTOR = 1.3
+#: cohort crowd mode collapses per-member fan-out into O(cohorts)
+#: macro-flows; measured 6–20x faster per world depending on crowd
+#: size, so cohort jobs pack roughly an order of magnitude denser
+COHORT_COST_FACTOR = 0.1
 
 
 @dataclass
@@ -233,7 +241,10 @@ def estimate_job_cost(job: JobSpec) -> float:
     ramp issues: roughly ``fleet size × crowd cap``, scaled by how many
     stages run and by the epoch planner (an adaptive ramp reaches the
     knee in ~3x fewer epochs than the linear one, so those worlds pack
-    denser batches).  Indicator worlds cost a flat handful of requests.
+    denser batches).  Fault plans / hardening add defensive overhead
+    (``HARDENED_COST_FACTOR``); cohort crowd mode replaces per-member
+    fan-out with O(cohorts) macro-flows (``COHORT_COST_FACTOR``).
+    Indicator worlds cost a flat handful of requests.
     The estimate only steers batch sizing — it need not be accurate,
     just monotone enough that micro-worlds batch by the hundred while
     full-size study worlds keep one-job batches.
@@ -241,6 +252,8 @@ def estimate_job_cost(job: JobSpec) -> float:
     if job.func is not None:
         return FUNC_JOB_COST
     planner_name = "linear"
+    hardened = False
+    crowd_mode = None
     if job.world is not None:
         if job.world.indicator:
             return INDICATOR_JOB_COST
@@ -253,15 +266,34 @@ def estimate_job_cost(job: JobSpec) -> float:
         )
         if job.world.planner is not None:
             planner_name = job.world.planner.name
+        hardened = (
+            job.world.faults is not None or bool(job.world.config.hardening)
+        )
+        crowd_mode = job.world.crowd_mode or job.world.config.crowd_mode
     else:
         n_clients = job.fleet_spec.n_clients if job.fleet_spec is not None else 65
         max_crowd = job.config.max_crowd if job.config is not None else 50
         stages = job.stage_kinds
+        if job.config is not None:
+            hardened = bool(job.config.hardening)
+            crowd_mode = job.config.crowd_mode
     stage_factor = (
         len(stages) / DEFAULT_STAGE_COUNT if stages else 1.0
     )
     planner_factor = PLANNER_COST_FACTOR.get(planner_name, 1.0)
-    return float(max(n_clients * max_crowd * stage_factor * planner_factor, 1))
+    mode_factor = COHORT_COST_FACTOR if crowd_mode == "cohort" else 1.0
+    fault_factor = HARDENED_COST_FACTOR if hardened else 1.0
+    return float(
+        max(
+            n_clients
+            * max_crowd
+            * stage_factor
+            * planner_factor
+            * mode_factor
+            * fault_factor,
+            1,
+        )
+    )
 
 
 def auto_batch_size(jobs: Sequence[JobSpec], workers: int) -> int:

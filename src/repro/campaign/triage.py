@@ -252,6 +252,7 @@ def _active_jobs(
     verdict: TriageVerdict,
     planner: Optional[PlannerSpec],
     time_limit_s: float,
+    crowd_mode: Optional[str] = None,
 ) -> List[JobSpec]:
     """The phase-2 twins of a flagged site's indicator job."""
     base_world = indicator_job.world
@@ -259,6 +260,7 @@ def _active_jobs(
     meta["phase"] = "active"
     sid = meta.get("scenario_id", base_world.scenario.name)
     seed = meta.get("base_seed", 0)
+    mode_suffix = f"|{crowd_mode}" if crowd_mode else ""
     jobs: List[JobSpec] = []
     for stage, probe_config, stage_planner in targeted_probe_plan(
         verdict, base_world.config, planner=planner
@@ -270,10 +272,11 @@ def _active_jobs(
             planner=stage_planner,
             config=probe_config,
             fleet=_probe_fleet(base_world.fleet, probe_config),
+            crowd_mode=crowd_mode,
         )
         jobs.append(
             JobSpec.from_world(
-                f"{sid}|triage-active|{stage}|seed{seed}",
+                f"{sid}|triage-active|{stage}|seed{seed}{mode_suffix}",
                 world,
                 time_limit_s=time_limit_s,
                 meta={**meta, "stage": stage},
@@ -298,6 +301,7 @@ def iter_triage(
     time_limit_s: float = 1e7,
     job_timeout_s: Optional[float] = None,
     retries: int = 0,
+    crowd_mode: Optional[str] = None,
 ) -> Iterator[TriageRecord]:
     """Run the two-phase triage over *sites*, streaming records.
 
@@ -309,8 +313,12 @@ def iter_triage(
     to ``config.max_crowd * margin`` still earns an active probe.
     *planner* pins one strategy for every phase-2 probe; the default
     ``None`` uses the per-stage :func:`targeted_probe_plan` shaping.
-    Both phases share *store*, so a killed run — whichever phase it
-    died in — resumes from the committed prefix.
+    *crowd_mode* selects the epoch fan-out for the phase-2 active
+    probes (the phase-1 indicator sweep fields no crowds, so it has
+    nothing to aggregate); ``"cohort"`` is the economical choice for
+    large-fleet populations.  Both phases share *store*, so a killed
+    run — whichever phase it died in — resumes from the committed
+    prefix.
     """
     config = config if config is not None else MFCConfig()
     fleet_spec = fleet_spec if fleet_spec is not None else FleetSpec()
@@ -365,7 +373,8 @@ def iter_triage(
         record.active_outcomes = {}
         record.active_stops = {}
         stage_jobs = _active_jobs(
-            outcome.job, verdict, planner, time_limit_s
+            outcome.job, verdict, planner, time_limit_s,
+            crowd_mode=crowd_mode,
         )
         remaining[id(record)] = len(stage_jobs)
         for job in stage_jobs:
@@ -423,6 +432,7 @@ def score_indicator(
     jobs: Optional[int] = None,
     store: Optional[Union[ResultStore, str]] = None,
     progress: bool = False,
+    crowd_mode: Optional[str] = None,
 ) -> Dict:
     """Score the indicator against full-MFC ground truth.
 
@@ -437,6 +447,10 @@ def score_indicator(
       the triage campaign would never find);
     - **precision** — of the stages the indicator flagged, how many
       truly stopped (a false positive only costs extra requests).
+
+    *crowd_mode* selects the epoch fan-out for the ground-truth
+    probes; ``"cohort"`` scores the indicator against aggregated
+    truth, the recall check CI's cohort-parity job leans on.
     """
     config = config if config is not None else MFCConfig()
     fleet_spec = fleet_spec if fleet_spec is not None else FleetSpec()
@@ -447,15 +461,17 @@ def score_indicator(
     indicator_jobs = plan_triage_jobs(
         scenarios, config=config, fleet_spec=fleet_spec, seed=seed
     )
+    mode_suffix = f"|{crowd_mode}" if crowd_mode else ""
     truth_jobs = [
         JobSpec.from_world(
-            f"{sid}|triage-truth|seed{seed}",
+            f"{sid}|triage-truth|seed{seed}{mode_suffix}",
             WorldSpec(
                 scenario=scenario,
                 fleet=fleet_spec,
                 config=config,
                 seed=derive_site_seed(seed, index),
                 stages=tuple(stage_names),
+                crowd_mode=crowd_mode,
             ),
             meta={"scenario_id": sid, "phase": "truth", "index": index},
         )
@@ -510,4 +526,5 @@ def score_indicator(
         "precision": hits / flagged_total if flagged_total else 1.0,
         "margin": margin,
         "stage_names": list(stage_names),
+        "crowd_mode": crowd_mode,
     }

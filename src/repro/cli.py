@@ -200,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
     triage.add_argument("--active", action="store_true",
                         help="also run the targeted phase-2 probes the "
                              "verdict asks for and print the joined record")
+    triage.add_argument("--crowd-mode", default=None,
+                        choices=("exact", "cohort"),
+                        help="epoch fan-out for the --active phase-2 "
+                             "probes (default: exact; 'cohort' "
+                             "aggregates homogeneous crowd members)")
     triage.add_argument("--json", action="store_true",
                         help="machine-readable verdict (and record with "
                              "--active)")
@@ -227,10 +232,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--cache", default=None, metavar="PATH",
                        help="result store: an interrupted grid resumes "
                             "from it without recomputation")
+    chaos.add_argument("--crowd-mode", default=None,
+                       choices=("exact", "cohort"),
+                       help="run every grid world in this crowd mode "
+                            "(default: exact per-client simulation); "
+                            "'cohort' asserts the hardening contract "
+                            "under cohort aggregation")
     chaos.add_argument("--json", action="store_true",
                        help="machine-readable report (rows, counts, "
                             "silently-wrong cells)")
     chaos.add_argument("--quiet", action="store_true",
+                       help="suppress progress reporting")
+
+    equiv = sub.add_parser(
+        "equiv",
+        help="run the cohort-vs-exact equivalence grid: aggregated "
+             "crowd epochs must reach the same provisioning verdicts "
+             "as exact per-client simulation",
+    )
+    equiv.add_argument("--quick", action="store_true",
+                       help="CI-smoke slice: 3 structurally different "
+                            "scenarios instead of the full registry")
+    equiv.add_argument("--scenario", action="append", default=None,
+                       choices=sorted(SCENARIOS),
+                       help="restrict to a scenario (repeatable; "
+                            "default: --quick slice or every preset)")
+    equiv.add_argument("--seed", type=int, default=0)
+    equiv.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes (default: sequential)")
+    equiv.add_argument("--cache", default=None, metavar="PATH",
+                       help="result store: an interrupted grid resumes "
+                            "from it without recomputation")
+    equiv.add_argument("--json", action="store_true",
+                       help="machine-readable report (rows, counts, "
+                            "mismatches)")
+    equiv.add_argument("--quiet", action="store_true",
                        help="suppress progress reporting")
 
     perf = sub.add_parser(
@@ -265,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip mirroring BENCH_kernel.json / "
                            "BENCH_world.json to the repository root "
                            "(the cross-PR perf trajectory record)")
+    perf.add_argument("--profile", default=None, metavar="KEY",
+                      help="cProfile one bench key (e.g. world.crowd_2000; "
+                           "respects --quick key names) instead of running "
+                           "the suites; writes the profile digest to "
+                           "<out>/PROFILE_<key>.txt")
+    perf.add_argument("--profile-lines", type=int, default=25, metavar="N",
+                      help="rows per profile table (default 25)")
     return parser
 
 
@@ -860,6 +903,7 @@ def cmd_triage(args) -> int:
             fleet_spec=fleet_spec,
             seed=args.seed,
             margin=args.margin,
+            crowd_mode=args.crowd_mode,
         )
         record = records[0]
         if args.json:
@@ -919,6 +963,7 @@ def cmd_chaos(args) -> int:
         jobs=args.jobs,
         store=args.cache,
         progress=not args.quiet and not args.json,
+        crowd_mode=args.crowd_mode,
     )
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -929,6 +974,34 @@ def cmd_chaos(args) -> int:
         print(
             f"repro chaos: {wrong} silently wrong verdict(s) — a fault "
             "changed an answer without downgrading it",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_equiv(args) -> int:
+    # imported here so `repro list`/`run` stay import-light
+    from repro.worlds.equivalence import equivalence_grid, format_report
+
+    report = equivalence_grid(
+        scenarios=args.scenario,
+        seed=args.seed,
+        quick=args.quick,
+        jobs=args.jobs,
+        store=args.cache,
+        progress=not args.quiet and not args.json,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    counts = report["counts"]
+    broken = counts["verdict_mismatches"] + counts["knee_out_of_tolerance"]
+    if broken:
+        print(
+            f"repro equiv: {broken} cohort/exact disagreement(s) — "
+            "aggregation changed an experiment's answer",
             file=sys.stderr,
         )
         return 1
@@ -953,9 +1026,67 @@ def _project_root_for(path: str) -> Optional[str]:
         current = parent
 
 
+def _cmd_perf_profile(args) -> int:
+    """``repro perf --profile KEY``: cProfile one registered bench.
+
+    The bench runs once under the profiler (its record — timing and
+    fingerprint — is reported but not written to the BENCH payloads:
+    profiled wall times are not comparable to suite wall times).  The
+    digest is the top-N functions by cumulative time plus their
+    callers, which is the view that answers "where does an epoch's
+    wall clock go" without a second tool.
+    """
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    from repro.perf.benches import bench_factories
+
+    factories = bench_factories(quick=args.quick)
+    key = args.profile
+    if key not in factories:
+        print(
+            f"perf --profile: unknown bench {key!r} (have: "
+            + ", ".join(sorted(factories))
+            + ")",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"repro perf: profiling {key} ...", flush=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    record = factories[key]()
+    profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative")
+    buf.write(f"bench {key}: seconds={record.get('seconds'):.4f} "
+              f"fingerprint={record.get('fingerprint')}\n\n")
+    buf.write(f"top {args.profile_lines} by cumulative time\n")
+    stats.print_stats(args.profile_lines)
+    buf.write(f"\ncallers of the top {args.profile_lines}\n")
+    stats.print_callers(args.profile_lines)
+    digest = buf.getvalue()
+
+    os.makedirs(args.out, exist_ok=True)
+    artifact = os.path.join(
+        args.out, f"PROFILE_{key.replace('/', '_')}.txt"
+    )
+    with open(artifact, "w") as fh:
+        fh.write(digest)
+    print(digest)
+    print(f"profile written: {artifact}")
+    return 0
+
+
 def cmd_perf(args) -> int:
     # imported here so `repro list`/`run` stay import-light
     import os
+
+    if args.profile:
+        return _cmd_perf_profile(args)
 
     from repro.perf import (
         BASELINE_FILENAME,
@@ -1084,6 +1215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_triage(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "equiv":
+        return cmd_equiv(args)
     if args.command == "perf":
         return cmd_perf(args)
     return cmd_run(args)

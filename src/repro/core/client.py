@@ -40,6 +40,13 @@ class RequestCommand:
     n_parallel: int = 1             # MFC-mr parallel connections
     body_bytes: float = 0.0         # POST body (the Upload stage)
     connections: int = 1            # sequential no-keepalive churn
+    #: cohort mode (runtime-only — commands are never serialized): the
+    #: representative fires macro-requests carrying the whole cohort's
+    #: weight and records outcomes on the meter instead of reporting
+    #: over the control channel (the coordinator synthesizes every
+    #: member's report, the representative's included)
+    weight: int = 1
+    meter: object = None            # CohortMeter | None
 
 
 class MFCClient:
@@ -148,9 +155,16 @@ class MFCClient:
         (:meth:`repro.net.link.Network.start_transfers` is the same
         transaction for direct batch launches).
         """
-        if self.fault_gate is not None and self.fault_gate.client_down(self.client_id):
-            # a dropped-out client never sees the command datagram
-            return
+        if command.meter is None:
+            if self.fault_gate is not None and self.fault_gate.client_down(
+                self.client_id
+            ):
+                # a dropped-out client never sees the command datagram
+                return
+        # cohort mode: the macro-request always runs — member dropout
+        # (the representative's included) is drawn per member at report
+        # synthesis so one unlucky representative draw can't silence a
+        # whole cohort
         spawn = self.sim.process
         flow = self._commanded_request
         sample_rtt = self.node.latency_to_target.sample_rtt
@@ -166,7 +180,15 @@ class MFCClient:
             rtt,
             body_bytes=command.body_bytes,
             connections=command.connections,
+            weight=command.weight,
+            meter=command.meter,
         )
+        if command.meter is not None:
+            # cohort mode: no control-channel report — the coordinator
+            # synthesizes all member reports (per-member loss draws
+            # included) from the recorded slot outcome
+            command.meter.record_outcome(status, nbytes, elapsed, rtt)
+            return
         base = self.base_times.get(command.path, 0.0)
         report = ClientReport(
             client_id=self.client_id,
@@ -195,6 +217,8 @@ class MFCClient:
         rtt: Optional[float] = None,
         body_bytes: float = 0.0,
         connections: int = 1,
+        weight: int = 1,
+        meter=None,
     ) -> Generator:
         """Issue one commanded request with the 10 s kill timer.
 
@@ -211,7 +235,10 @@ class MFCClient:
         self.requests_issued += 1
         if rtt is None:
             rtt = self.node.latency_to_target.sample_rtt()
-        if self.fault_gate is not None:
+        if self.fault_gate is not None and meter is None:
+            # cohort mode: the macro-request runs clean — per-member
+            # dispositions are drawn at report synthesis instead, so a
+            # single representative draw can't blackhole a whole cohort
             disposition = self.fault_gate.request_disposition(self.client_id, rtt)
             if disposition is not None:
                 kind, extra_delay = disposition
@@ -259,9 +286,18 @@ class MFCClient:
                 # SYN + SYN-ACK + request-on-ACK: first byte reaches the
                 # server 1.5 RTT after the client starts the handshake
                 yield 1.5 * conn_rtt
-                response = yield self.service.submit(
-                    conn_request, self.node, conn_rtt
-                )
+                if meter is not None or weight > 1:
+                    # any cohort macro-request — weight-1 singletons
+                    # included — must reach the server with its meter,
+                    # or the singleton contributes nothing to the epoch
+                    # drain and gets no positional queue share back
+                    response = yield self.service.submit(
+                        conn_request, self.node, conn_rtt, weight=weight, meter=meter
+                    )
+                else:
+                    response = yield self.service.submit(
+                        conn_request, self.node, conn_rtt
+                    )
                 nbytes = (
                     response.bytes_transferred
                     if nbytes is None

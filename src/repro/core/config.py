@@ -63,6 +63,14 @@ class MFCConfig:
     random_client_selection: bool = True
     #: gap between one client's sequential base measurements
     base_measure_gap_s: float = 0.2
+    #: crowd simulation mode.  "exact" runs every crowd client as its
+    #: own process + transfer (the seed behaviour, byte-stable).
+    #: "cohort" collapses statistically homogeneous clients into
+    #: weighted macro-flows with synthesized per-member samples —
+    #: O(cohorts) instead of O(crowd) per epoch, distribution-
+    #: equivalent verdicts (see worlds.equivalence).  Default-omitted
+    #: from the canonical encoding so existing hashes stay stable.
+    crowd_mode: str = "exact"
 
     # -- hardening knobs (the coordinator's live-target defenses) ----------
     # All of these are default-omitted from the canonical encoding
@@ -103,6 +111,10 @@ class MFCConfig:
             raise ValueError("degradation_quantile must be in (0, 1]")
         if self.stagger_interval_s is not None and self.stagger_interval_s < 0:
             raise ValueError("stagger interval cannot be negative")
+        if self.crowd_mode not in ("exact", "cohort"):
+            raise ValueError(
+                f"crowd_mode must be 'exact' or 'cohort', got {self.crowd_mode!r}"
+            )
         if self.request_timeout_s <= 0 or self.epoch_gap_s < 0:
             raise ValueError("timing knobs must be positive")
         if self.reliveness_every_epochs < 1:

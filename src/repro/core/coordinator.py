@@ -22,6 +22,14 @@ import random
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.client import MFCClient, RequestCommand
+from repro.core.cohort import (
+    Cohort,
+    CohortMeter,
+    epoch_drain_s,
+    epoch_ramp_fraction,
+    group_cohorts,
+    synthesize_cohort_reports,
+)
 from repro.core.config import MFCConfig
 from repro.core.epochs import PlannerSpec, degradation_aggregate_sorted
 from repro.core.records import (
@@ -63,6 +71,9 @@ class Coordinator:
         use_naive_scheduling: bool = False,
         planner: Optional[PlannerSpec] = None,
         hardened: bool = False,
+        crowd_mode: str = "exact",
+        network=None,
+        cohort_rng: Optional[random.Random] = None,
     ) -> None:
         config.validate()
         self.sim = sim
@@ -86,6 +97,18 @@ class Coordinator:
         #: using the synchronization arithmetic
         self.use_naive_scheduling = use_naive_scheduling
         self.scheduler = SyncScheduler(config.stagger_interval_s)
+        #: "cohort": homogeneous crowd members collapse into weighted
+        #: macro-flows (see :mod:`repro.core.cohort`); needs the fluid
+        #: network for macro-flow pipes — synthetic-service worlds pass
+        #: network=None and silently stay exact
+        self.crowd_mode = crowd_mode if network is not None else "exact"
+        self.network = network
+        self._cohort_rng = (
+            cohort_rng if cohort_rng is not None else random.Random(0)
+        )
+        #: cohort key → dedicated macro-flow access link, reused across
+        #: epochs with per-epoch capacity = weight × member access bps
+        self._cohort_pipes: Dict[Tuple, object] = {}
         self._mailbox: Dict[Tuple[str, int], List[ClientReport]] = {}
         self._epoch_seq = 0
         for client in self.clients:
@@ -534,6 +557,12 @@ class Coordinator:
             )
         yield self.config.liveness_timeout_s
 
+        if self.crowd_mode == "cohort":
+            yield from self._measure_cohorts(
+                stage, live, skip, coord_rtts, estimates
+            )
+            return estimates
+
         # T_target + base response times: strictly sequential so the
         # measurements do not impact each other (§2.2.3)
         for index, client in enumerate(live):
@@ -556,6 +585,53 @@ class Coordinator:
             )
         return estimates
 
+    def _measure_cohorts(
+        self,
+        stage: StagePlan,
+        live: List[MFCClient],
+        skip: frozenset,
+        coord_rtts: Dict[str, float],
+        estimates: Dict[str, DelayEstimates],
+    ) -> Generator:
+        """Cohort-mode delay computation: one real sequential
+        T_target + base measurement per *cohort* (the representative);
+        members get an RTT draw from their own latency stream and a
+        base synthesized from the representative's, shifted by the RTT
+        difference — every live member still lands in *estimates* so
+        the hardened pool-eligibility logic sees the full fleet."""
+        eligible = [c for c in live if c.client_id not in skip]
+        for cohort in group_cohorts(eligible, live, stage):
+            rep = cohort.rep
+            rep_rtt = yield from rep.measure_target_rtt()
+            rep_path = cohort.paths[rep.client_id]
+            yield from rep.measure_base(
+                [rep_path],
+                stage.method,
+                body_bytes=stage.body_bytes,
+                connections=stage.connections,
+            )
+            rep_base = rep.base_times[rep_path]
+            for member in cohort.members:
+                if member is rep:
+                    target_rtt = rep_rtt
+                else:
+                    # zero-sim-time draw from the member's own latency
+                    # stream: distributionally exact (spikes included)
+                    target_rtt = member.node.latency_to_target.sample_rtt()
+                    member.measured_target_rtt = target_rtt
+                    member.base_times[cohort.paths[member.client_id]] = max(
+                        0.0,
+                        rep_base
+                        + 2.0 * stage.connections * (target_rtt - rep_rtt),
+                    )
+                estimates[member.client_id] = DelayEstimates(
+                    client_id=member.client_id,
+                    coord_rtt_s=coord_rtts.get(
+                        member.client_id, member.node.latency_to_coord.base_rtt
+                    ),
+                    target_rtt_s=target_rtt,
+                )
+
     # -- per epoch --------------------------------------------------------------------
 
     def _select_participants(
@@ -574,6 +650,11 @@ class Coordinator:
         pool: List[MFCClient],
         estimates: Dict[str, DelayEstimates],
     ) -> Generator:
+        if self.crowd_mode == "cohort":
+            epoch = yield from self._run_epoch_cohort(
+                stage, crowd, label, live, pool, estimates
+            )
+            return epoch
         self._epoch_seq += 1
         epoch_key = (stage.name, self._epoch_seq)
         m = self.config.requests_per_client
@@ -621,6 +702,21 @@ class Coordinator:
         yield max(drain_until - self.sim.now, 0.0)
 
         reports = self._mailbox.pop(epoch_key, [])
+        return self._finish_epoch(
+            stage, label, scheduled_requests, n_clients, target_time, reports
+        )
+
+    def _finish_epoch(
+        self,
+        stage: StagePlan,
+        label: EpochLabel,
+        scheduled_requests: int,
+        n_clients: int,
+        target_time: float,
+        reports: List[ClientReport],
+    ) -> EpochResult:
+        """Assemble the epoch record + degradation aggregate from the
+        collected (or synthesized) reports."""
         epoch = EpochResult(
             index=self._epoch_seq,
             label=label,
@@ -653,3 +749,113 @@ class Coordinator:
             )
             epoch.degraded = epoch.aggregate_normalized_s > self.config.threshold_s
         return epoch
+
+    # -- cohort mode -------------------------------------------------------------------
+
+    def _cohort_pipe(self, cohort: Cohort):
+        """Get or create the cohort's macro-flow access link, sized to
+        the whole cohort's aggregate access capacity this epoch."""
+        capacity = cohort.weight * cohort.rep.node.spec.access_bps
+        pipe = self._cohort_pipes.get(cohort.key)
+        if pipe is None:
+            pipe = self.network.add_link(
+                f"cohort:{self.target_name}:{len(self._cohort_pipes)}", capacity
+            )
+            self._cohort_pipes[cohort.key] = pipe
+        else:
+            self.network.set_capacity(pipe, capacity)
+        return pipe
+
+    def _run_epoch_cohort(
+        self,
+        stage: StagePlan,
+        crowd: int,
+        label: EpochLabel,
+        live: List[MFCClient],
+        pool: List[MFCClient],
+        estimates: Dict[str, DelayEstimates],
+    ) -> Generator:
+        """One epoch as O(cohorts) weighted macro-requests.
+
+        Participant selection, synchronization arithmetic and the drain
+        window mirror the exact path; only the fan-out differs — one
+        representative command per cohort, per-member reports
+        synthesized from the occupancy ledger after the drain.
+        """
+        self._epoch_seq += 1
+        epoch_key = (stage.name, self._epoch_seq)
+        m = self.config.requests_per_client
+        n_clients = min(math.ceil(crowd / m), len(pool))
+        participants = self._select_participants(pool, n_clients)
+        scheduled_requests = n_clients * m
+
+        cohorts = group_cohorts(participants, live, stage)
+        rep_estimates = [estimates[c.rep.client_id] for c in cohorts]
+        now = self.sim.now
+        if self.use_naive_scheduling:
+            plans = naive_plan(now, rep_estimates)
+            target_time = now
+        else:
+            target_time = (
+                self.scheduler.earliest_feasible_T(now, rep_estimates)
+                + self.config.schedule_lead_s
+            )
+            plans = self.scheduler.plan(now, target_time, rep_estimates)
+
+        by_rep = {c.rep.client_id: c for c in cohorts}
+        index_of = {c.client_id: i for i, c in enumerate(live)}
+        arrivals: Dict[Tuple, float] = {}
+        for plan in plans:
+            cohort = by_rep[plan.client_id]
+            arrivals[cohort.key] = plan.intended_arrival
+            cohort.meter = CohortMeter(
+                cohort.weight, pipe=self._cohort_pipe(cohort)
+            )
+            command = RequestCommand(
+                epoch_key=epoch_key,
+                path=stage.object_for(index_of[cohort.rep.client_id]),
+                method=stage.method,
+                n_parallel=m,
+                body_bytes=stage.body_bytes,
+                connections=stage.connections,
+                weight=cohort.weight,
+                meter=cohort.meter,
+            )
+            self.sim.call_at(
+                plan.dispatch_time,
+                lambda c=cohort.rep, cmd=command: self.control.send(
+                    c.node.latency_to_coord, c.execute_command, cmd
+                ),
+            )
+
+        drain_until = (
+            max(p.intended_arrival for p in plans)
+            + self.config.epoch_gap_s
+            + self.config.report_slack_s
+        )
+        yield max(drain_until - self.sim.now, 0.0)
+
+        # representatives never report over the control channel in
+        # cohort mode; everything is synthesized here
+        self._mailbox.pop(epoch_key, None)
+        drain = epoch_drain_s(cohorts)
+        ramp = epoch_ramp_fraction(cohorts, drain)
+        reports: List[ClientReport] = []
+        for cohort in cohorts:
+            reports.extend(
+                synthesize_cohort_reports(
+                    cohort,
+                    self.config,
+                    self._cohort_rng,
+                    self.control.loss_prob,
+                    cohort.rep.fault_gate,
+                    arrivals.get(cohort.key, target_time),
+                    drain,
+                    connections=stage.connections,
+                    ramp=ramp,
+                )
+            )
+            cohort.meter = None
+        return self._finish_epoch(
+            stage, label, scheduled_requests, n_clients, target_time, reports
+        )

@@ -106,10 +106,18 @@ def plan_chaos_jobs(
     seed: int = 0,
     config: Optional[MFCConfig] = None,
     fleet: Optional[FleetSpec] = None,
+    crowd_mode: Optional[str] = None,
 ) -> List[JobSpec]:
-    """One baseline + one world per fault, per scenario."""
+    """One baseline + one world per fault, per scenario.
+
+    ``crowd_mode="cohort"`` runs the whole grid through cohort
+    aggregation — the hardening contract must hold there too, since
+    large-fleet campaigns default to cohort worlds.  The job keys get
+    a mode suffix so exact and cohort grids cache separately.
+    """
     config = config if config is not None else chaos_config()
     fleet = fleet if fleet is not None else chaos_fleet()
+    mode_suffix = f"|{crowd_mode}" if crowd_mode else ""
     jobs: List[JobSpec] = []
     for index, name in enumerate(scenarios):
         if name not in SCENARIO_PRESETS:
@@ -121,10 +129,11 @@ def plan_chaos_jobs(
             fleet=fleet,
             config=config,
             seed=derive_site_seed(seed, index),
+            crowd_mode=crowd_mode,
         )
         jobs.append(
             JobSpec.from_world(
-                f"chaos|{name}|baseline|seed{seed}",
+                f"chaos|{name}|baseline|seed{seed}{mode_suffix}",
                 base,
                 meta={"scenario": name, "fault": None},
             )
@@ -137,7 +146,7 @@ def plan_chaos_jobs(
                 )
             jobs.append(
                 JobSpec.from_world(
-                    f"chaos|{name}|{fault}|seed{seed}",
+                    f"chaos|{name}|{fault}|seed{seed}{mode_suffix}",
                     replace(base, faults=FAULT_PRESETS[fault]()),
                     meta={"scenario": name, "fault": fault},
                 )
@@ -186,6 +195,7 @@ def chaos_grid(
     progress: bool = False,
     config: Optional[MFCConfig] = None,
     fleet: Optional[FleetSpec] = None,
+    crowd_mode: Optional[str] = None,
 ) -> Dict:
     """Run the chaos grid; return the comparison report.
 
@@ -193,6 +203,8 @@ def chaos_grid(
     aggregate ``counts`` and the list of ``silently_wrong`` cells.  A
     healthy grid has ``counts["silently_wrong"] == 0`` — that is the
     assertion CI's chaos-smoke job and ``repro chaos`` make.
+    ``crowd_mode="cohort"`` asserts the same contract with cohort
+    aggregation on.
     """
     if scenarios is None:
         scenarios = QUICK_SCENARIOS if quick else tuple(SCENARIO_PRESETS)
@@ -200,7 +212,8 @@ def chaos_grid(
         faults = QUICK_FAULTS if quick else tuple(FAULT_PRESETS)
 
     plan = plan_chaos_jobs(
-        scenarios, faults, seed=seed, config=config, fleet=fleet
+        scenarios, faults, seed=seed, config=config, fleet=fleet,
+        crowd_mode=crowd_mode,
     )
     results: Dict[Tuple[str, Optional[str]], MFCResult] = {}
     for outcome in iter_campaign(
@@ -272,6 +285,7 @@ def chaos_grid(
         "scenarios": list(scenarios),
         "faults": list(faults),
         "seed": seed,
+        "crowd_mode": crowd_mode,
         "rows": rows,
         "counts": counts,
         "silently_wrong": [row for row in rows if not row["ok"]],

@@ -117,24 +117,32 @@ class FaultInjector:
 
     # -- client gate ----------------------------------------------------------
 
-    def _hits(self, event: FaultEvent, affected, client_id: str) -> bool:
-        return event.active_at(self.sim.now) and (
+    def _hits(
+        self, event: FaultEvent, affected, client_id: str, at: Optional[float] = None
+    ) -> bool:
+        t = self.sim.now if at is None else at
+        return event.active_at(t) and (
             affected is None or client_id in affected
         )
 
-    def client_down(self, client_id: str) -> bool:
-        """True while *client_id* is inside an open dropout window."""
+    def client_down(self, client_id: str, at: Optional[float] = None) -> bool:
+        """True while *client_id* is inside an open dropout window.
+
+        *at* overrides the evaluation instant — cohort-mode report
+        synthesis runs at epoch drain time but must window each
+        member's fate at its intended request arrival.
+        """
         for event, affected in self._plans:
             if event.kind == fspec.CLIENT_DROPOUT and self._hits(
-                event, affected, client_id
+                event, affected, client_id, at
             ):
                 return True
         return False
 
     def request_disposition(
-        self, client_id: str, rtt: float
+        self, client_id: str, rtt: float, at: Optional[float] = None
     ) -> Optional[Tuple[str, float]]:
-        """Fate of one request issued now by *client_id*.
+        """Fate of one request issued now (or at *at*) by *client_id*.
 
         Returns ``None`` (proceed normally), ``("blackhole", 0)``,
         ``("reset", 0)``, or ``("stall", extra_delay_s)``.  Blackhole
@@ -143,7 +151,7 @@ class FaultInjector:
         """
         extra = 0.0
         for event, affected in self._plans:
-            if not self._hits(event, affected, client_id):
+            if not self._hits(event, affected, client_id, at):
                 continue
             kind = event.kind
             if kind in (fspec.CLIENT_DROPOUT, fspec.BLACKHOLE):
@@ -164,11 +172,11 @@ class FaultInjector:
             return ("stall", extra)
         return None
 
-    def report_lost(self, client_id: str) -> bool:
+    def report_lost(self, client_id: str, at: Optional[float] = None) -> bool:
         """True when the report *client_id* is about to send gets dropped."""
         for event, affected in self._plans:
             if event.kind == fspec.REPORT_LOSS and self._hits(
-                event, affected, client_id
+                event, affected, client_id, at
             ):
                 if self._roll(event):
                     self.stats["report-loss"] += 1

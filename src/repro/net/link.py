@@ -37,6 +37,17 @@ Each link's aggregate throughput is maintained incrementally as rates
 are frozen, so :meth:`Link.current_rate` / :meth:`Link.utilization`
 are O(1) for the resource monitor.
 
+**Weighted flows.**  A transfer may carry an integer ``weight`` —
+cohort mode's macro-flows stand in for *weight* statistically
+identical member flows.  Progressive filling then shares each link
+per unit of weight: a link's equal share is ``capacity / Σ weights``
+and a weight-w flow freezes at ``w`` times the per-unit rate, exactly
+the allocation *w* separate unit flows on the same path would sum to.
+With every weight at 1 the arithmetic (integer weight sums equal flow
+counts, ``rate * 1`` is the identity) reduces bit-for-bit to the
+unweighted allocator, so exact-mode worlds keep their frozen parity
+fingerprints.
+
 This is the substrate behaviour the Large Object stage of the paper
 probes: as concurrent downloads of the same object pile onto the server
 access link, each flow's fair share drops and response time climbs.
@@ -71,6 +82,7 @@ class Link:
         "index",
         "transfers",
         "bytes_delivered",
+        "_weight",
         "_agg_rate",
         "_agg_gen",
         "_cap_left",
@@ -90,6 +102,9 @@ class Link:
         self.transfers: Dict["Transfer", None] = {}
         #: cumulative bytes pushed through this link
         self.bytes_delivered = 0.0
+        #: total weight of the active transfers (== flow count while
+        #: every flow is unweighted); the allocator's share divisor
+        self._weight = 0
         # aggregate of the current max-min rates, maintained by the
         # allocator so current_rate()/utilization() are O(1); _agg_gen
         # marks which allocation pass last wrote it (set-then-add
@@ -108,6 +123,12 @@ class Link:
     def active_flows(self) -> int:
         """Number of transfers currently crossing this link."""
         return len(self.transfers)
+
+    @property
+    def active_weight(self) -> int:
+        """Total flow weight crossing this link (cohort members count
+        once each, so a weight-N macro-flow contributes N)."""
+        return self._weight
 
     def current_rate(self) -> float:
         """Aggregate instantaneous throughput across this link (B/s)."""
@@ -128,6 +149,7 @@ class Transfer:
         "network",
         "links",
         "size_bytes",
+        "weight",
         "remaining",
         "rate",
         "done",
@@ -139,13 +161,22 @@ class Transfer:
         "_eta_stamp",
     )
 
-    def __init__(self, network: "Network", links: Sequence[Link], size_bytes: float) -> None:
+    def __init__(
+        self,
+        network: "Network",
+        links: Sequence[Link],
+        size_bytes: float,
+        weight: int = 1,
+    ) -> None:
         self.network = network
         # dedupe while preserving order: a link listed twice in a path
         # is one capacity constraint, and single-entry links keep the
         # allocator's per-link books (counts, caps, aggregates) exact
         self.links = list(dict.fromkeys(links))
         self.size_bytes = float(size_bytes)
+        #: fair-share weight: this flow stands in for `weight` unit
+        #: flows and receives `weight` per-unit shares
+        self.weight = weight
         self.remaining = float(size_bytes)
         self.rate = 0.0
         self.done: Event = Event(network.sim)
@@ -180,6 +211,9 @@ class Network:
         self._links: Dict[str, Link] = {}
         #: active transfers in join order
         self._active: Dict[Transfer, None] = {}
+        #: total weight of the active transfers (the freeze-all fast
+        #: path compares a link's weight against this)
+        self._active_weight = 0
         #: links with >= 1 active transfer, kept sorted by registration
         #: index (maintained incrementally on transfer join/leave)
         self._active_links: List[Link] = []
@@ -223,7 +257,9 @@ class Network:
 
     # -- transfers ---------------------------------------------------------------
 
-    def start_transfer(self, links: Sequence[Link], size_bytes: float) -> Transfer:
+    def start_transfer(
+        self, links: Sequence[Link], size_bytes: float, weight: int = 1
+    ) -> Transfer:
         """Begin moving *size_bytes* across *links*.
 
         Returns the :class:`Transfer`; wait on ``transfer.done`` for
@@ -232,12 +268,18 @@ class Network:
         O(path): rate assignment happens once per simulated instant in
         the end-of-instant flush (immediately when the simulator is
         not running).
+
+        ``weight`` > 1 starts a cohort macro-flow that receives
+        *weight* per-unit max-min shares (see the module docstring);
+        *size_bytes* is then the macro total, weight × member bytes.
         """
         if not links:
             raise SimulationError("transfer needs at least one link")
         if size_bytes < 0:
             raise SimulationError("negative transfer size")
-        transfer = Transfer(self, links, size_bytes)
+        if weight < 1 or weight != int(weight):
+            raise SimulationError(f"transfer weight must be a positive int, got {weight}")
+        transfer = Transfer(self, links, size_bytes, weight=int(weight))
         if size_bytes == 0:
             transfer.finished_at = self.sim.now
             transfer.done.succeed(value=transfer)
@@ -247,11 +289,12 @@ class Network:
         return transfer
 
     def start_transfers(
-        self, requests: Iterable[Tuple[Sequence[Link], float]]
+        self, requests: Iterable[Sequence]
     ) -> List[Transfer]:
         """Batch variant of :meth:`start_transfer` for crowd launches.
 
-        Takes ``(links, size_bytes)`` pairs and starts them as one
+        Takes ``(links, size_bytes)`` pairs — or ``(links, size_bytes,
+        weight)`` triples, the cohort path — and starts them as one
         allocation transaction: all joins share a single dirty mark,
         so a synchronized crowd costs one allocator pass no matter how
         large it is.  Validation runs up front — an invalid entry
@@ -264,16 +307,24 @@ class Network:
         instant coalesce into the same single transaction via the
         kernel's instant-end flush, with no batching at the call site.
         """
-        pairs = [(list(links), float(size_bytes)) for links, size_bytes in requests]
-        for links, size_bytes in pairs:
+        triples = []
+        for request in requests:
+            links, size_bytes = request[0], request[1]
+            weight = request[2] if len(request) > 2 else 1
+            triples.append((list(links), float(size_bytes), int(weight)))
+        for links, size_bytes, weight in triples:
             if not links:
                 raise SimulationError("transfer needs at least one link")
             if size_bytes < 0:
                 raise SimulationError("negative transfer size")
+            if weight < 1:
+                raise SimulationError(
+                    f"transfer weight must be a positive int, got {weight}"
+                )
         transfers: List[Transfer] = []
         joined = False
-        for links, size_bytes in pairs:
-            transfer = Transfer(self, links, size_bytes)
+        for links, size_bytes, weight in triples:
+            transfer = Transfer(self, links, size_bytes, weight=weight)
             transfers.append(transfer)
             if size_bytes == 0:
                 transfer.finished_at = self.sim.now
@@ -322,22 +373,29 @@ class Network:
 
     def _join(self, transfer: Transfer) -> None:
         self._active[transfer] = None
+        self._active_weight += transfer.weight
         for link in transfer.links:
             if not link.transfers:
                 insort(self._active_links, link, key=_link_index)
             link.transfers[transfer] = None
+            link._weight += transfer.weight
 
     def _detach(self, transfer: Transfer) -> None:
-        self._active.pop(transfer, None)
+        if transfer in self._active:
+            del self._active[transfer]
+            self._active_weight -= transfer.weight
         transfer._eta_stamp += 1  # invalidate any pending ETA entry
         transfer._eta = None
         for link in transfer.links:
-            link.transfers.pop(transfer, None)
+            if transfer in link.transfers:
+                del link.transfers[transfer]
+                link._weight -= transfer.weight
             if not link.transfers:
                 # a drained link carries no rate; zeroing here (rather
                 # than in a per-pass sweep) keeps current_rate() exact
                 # for links the next allocation no longer visits
                 link._agg_rate = 0.0
+                link._weight = 0
                 self._active_links.remove(link)
 
     def _mark_dirty(self) -> None:
@@ -434,25 +492,27 @@ class Network:
         links = self._active_links
 
         # round 1 over pristine capacities needs no cap/count books:
-        # the unfrozen count of every active link is its flow count
+        # the unfrozen weight of every active link is its total weight
+        # (== flow count while every flow is unweighted)
         best_link = None
         best_share = math.inf
         for link in links:
-            share = link.capacity_bps / len(link.transfers)
+            share = link.capacity_bps / link._weight
             if share < best_share - _EPS:
                 best_share = share
                 best_link = link
         if best_link is None:
             return
         rate = max(best_share, 0.0)
-        if len(best_link.transfers) == len(active):
-            # the most-contended link carries *every* flow (an MFC
-            # crowd piling onto the server access link): one round
-            # freezes them all, so skip the progressive-filling books
+        if best_link._weight == self._active_weight:
+            # the most-contended link carries *every* unit of flow
+            # weight (an MFC crowd piling onto the server access
+            # link): one round freezes them all, so skip the
+            # progressive-filling books
             for transfer in active:
-                transfer.rate = rate
+                transfer.rate = rate * transfer.weight
             for link in links:
-                link._agg_rate = rate * len(link.transfers)
+                link._agg_rate = rate * link._weight
                 link._agg_gen = gen
             return
 
@@ -487,11 +547,11 @@ class Network:
         order: List[Tuple[float, int, Link]] = []
         for link in links:
             link._cap_left = link.capacity_bps
-            link._cnt = len(link.transfers)
+            link._cnt = link._weight
             link._version = 0
             if link is not best_link:
                 order.append(
-                    (link.capacity_bps / len(link.transfers), link.index, link)
+                    (link.capacity_bps / link._weight, link.index, link)
                 )
         order.sort()
         pristine_shares = [entry[0] for entry in order]
@@ -504,15 +564,17 @@ class Network:
                 if transfer._frozen_gen == gen:
                     continue
                 transfer._frozen_gen = gen
-                transfer.rate = rate
+                weight = transfer.weight
+                frozen = rate * weight
+                transfer.rate = frozen
                 unfrozen_left -= 1
                 for link in transfer.links:
-                    link._cap_left -= rate
-                    link._cnt -= 1
+                    link._cap_left -= frozen
+                    link._cnt -= weight
                     if link._agg_gen == gen:
-                        link._agg_rate += rate
+                        link._agg_rate += frozen
                     else:
-                        link._agg_rate = rate
+                        link._agg_rate = frozen
                         link._agg_gen = gen
                     link._version = 1  # pristine entry now stale
                     fresh[link] = None

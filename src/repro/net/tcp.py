@@ -161,6 +161,42 @@ class TcpModel:
                 network.abort(transfer)
         return size_bytes
 
+    def download_weighted(
+        self,
+        sim: Simulator,
+        network: Network,
+        links: Sequence[Link],
+        size_bytes: float,
+        rtt: float,
+        weight: int,
+    ) -> Generator:
+        """Cohort macro-download: *weight* members' bytes as one flow.
+
+        Starts a single fluid transfer of ``weight × size_bytes``
+        carrying max-min weight *weight*, so the macro-flow's fair
+        share is exactly the sum of the shares *weight* separate
+        member flows would receive — and its completion time equals
+        each member's completion time under that contention (all
+        members of a cohort launch the same instant and move the same
+        bytes).  The slow-start latency floor stays per-member: window
+        growth happens in every member's own connection.
+        """
+        if size_bytes <= 0:
+            return 0.0
+        if weight <= 1:
+            result = yield from self.download(sim, network, links, size_bytes, rtt)
+            return result
+        from repro.sim.events import AllOf
+
+        floor = sim.timeout(self.latency_floor_s(size_bytes, rtt))
+        transfer = network.start_transfer(links, size_bytes * weight, weight=weight)
+        try:
+            yield AllOf(sim, [floor, transfer.done])
+        finally:
+            if transfer.active:
+                network.abort(transfer)
+        return size_bytes
+
     def minimum_large_object_bytes(self, rtt: float, path_rate_bps: float) -> float:
         """Smallest object that exits slow start on this path.
 

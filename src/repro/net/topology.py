@@ -157,6 +157,9 @@ class Topology:
                 ),
             )
             self.clients.append(node)
+        self._client_by_id: Dict[str, ClientNode] = {
+            node.client_id: node for node in self.clients
+        }
         self.coordinator = CoordinatorNode(self.clients)
         self.control = ControlChannel(
             sim,
@@ -167,10 +170,10 @@ class Topology:
 
     def client(self, client_id: str) -> ClientNode:
         """Look up a client by id."""
-        for node in self.clients:
-            if node.client_id == client_id:
-                return node
-        raise KeyError(client_id)
+        try:
+            return self._client_by_id[client_id]
+        except KeyError:
+            raise KeyError(client_id) from None
 
     def bottleneck(self, group: str) -> Link:
         """Look up a shared mid-path bottleneck link by group name."""

@@ -30,7 +30,10 @@ import dataclasses
 import hashlib
 import json
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
+
+#: a registered bench: zero-arg, returns the bench record
+BenchFactory = Callable[[], Dict]
 
 from repro.core.config import MFCConfig
 from repro.core.epochs import PlannerSpec
@@ -322,6 +325,7 @@ def bench_world(
     crowd_step: int = 10,
     seed: int = 0,
     repeats: int = 1,
+    crowd_mode: Optional[str] = None,
 ) -> Dict:
     """The acceptance benchmark: a full Large Object MFC experiment.
 
@@ -331,6 +335,10 @@ def bench_world(
     spec hash (so a bench record names the exact declarative world it
     measured; ``spec_hash`` sits outside ``params`` to keep records
     comparable across assembly-layer refactors that preserve results).
+
+    *crowd_mode* selects the epoch fan-out (``"cohort"`` for
+    aggregated macro-flows); the default ``None`` keeps the historical
+    exact-mode spec hash and fingerprint byte-stable.
     """
     spec = WorldSpec(
         scenario=presets.qtnp_server(),
@@ -344,6 +352,7 @@ def bench_world(
         ),
         seed=seed,
         stage_kinds=(StageKind.LARGE_OBJECT,),
+        crowd_mode=crowd_mode,
     )
     state: Dict = {}
 
@@ -352,20 +361,114 @@ def bench_world(
 
     seconds = _best_of(repeats, run)
     result = state["result"]
+    params = {
+        "n_clients": n_clients,
+        "max_crowd": max_crowd,
+        "crowd_step": crowd_step,
+        "seed": seed,
+        "repeats": repeats,
+    }
+    if crowd_mode is not None:
+        params["crowd_mode"] = crowd_mode
     return {
         "seconds": seconds,
         "requests": result.total_requests,
         "requests_per_s": result.total_requests / seconds if seconds > 0 else 0.0,
         "fingerprint": _result_fingerprint(result),
         "spec_hash": "sha256:" + spec.spec_hash,
+        "params": params,
+    }
+
+
+def bench_crowd(
+    n_clients: int = 2000,
+    max_crowd: int = 2000,
+    crowd_step: int = 100,
+    seed: int = 0,
+    repeats: int = 1,
+    exact_arm: bool = True,
+) -> Dict:
+    """Cohort-aggregated crowd sweep vs exact per-client fan-out.
+
+    The tentpole benchmark for cohort crowd mode: one qtnp-grade Large
+    Object world with a crowd ramp deep into four-digit epochs, run
+    with ``threshold_s`` parked at 1.0 s so **both** arms sweep the
+    full ramp to the cap (no verdict-dependent early exit) and do
+    identical scheduled work.  The gated ``seconds`` is the cohort
+    arm's wall time; ``speedup`` is the events-throughput ratio
+    (cohort requests/s over exact requests/s).  Both arms' stage
+    outcomes ride along so a regression that buys speed by changing
+    the answer is visible in the record, and each arm is separately
+    fingerprinted.
+
+    ``exact_arm=False`` skips the exact run for crowd sizes where
+    per-client simulation is too slow to gate on (the 5000-client
+    bench) — the cohort arm is still fingerprinted and timed.
+    """
+
+    def spec_for(mode: Optional[str]) -> WorldSpec:
+        return WorldSpec(
+            scenario=presets.qtnp_server(),
+            fleet=FleetSpec(n_clients=n_clients),
+            config=MFCConfig(
+                threshold_s=1.0,
+                max_crowd=max_crowd,
+                crowd_step=crowd_step,
+                initial_crowd=crowd_step,
+                min_clients=min(50, max(1, int(n_clients * 0.75))),
+            ),
+            seed=seed,
+            stage_kinds=(StageKind.LARGE_OBJECT,),
+            crowd_mode=mode,
+        )
+
+    cohort_spec = spec_for("cohort")
+    state: Dict = {}
+
+    def run_cohort() -> None:
+        state["cohort"] = cohort_spec.build().run()
+
+    seconds = _best_of(repeats, run_cohort)
+    cohort_result = state["cohort"]
+    stage_name = StageKind.LARGE_OBJECT.value
+    cohort_stage = cohort_result.stage(stage_name)
+    requests = cohort_result.total_requests
+    requests_per_s = requests / seconds if seconds > 0 else 0.0
+    record = {
+        "seconds": seconds,
+        "requests": requests,
+        "requests_per_s": requests_per_s,
+        "outcome": cohort_stage.describe(),
+        "fingerprint": _result_fingerprint(cohort_result),
+        "spec_hash": "sha256:" + cohort_spec.spec_hash,
         "params": {
             "n_clients": n_clients,
             "max_crowd": max_crowd,
             "crowd_step": crowd_step,
             "seed": seed,
             "repeats": repeats,
+            "exact_arm": exact_arm,
         },
     }
+    if exact_arm:
+        exact_spec = spec_for(None)
+
+        def run_exact() -> None:
+            state["exact"] = exact_spec.build().run()
+
+        exact_seconds = _best_of(repeats, run_exact)
+        exact_result = state["exact"]
+        exact_requests = exact_result.total_requests
+        exact_rps = exact_requests / exact_seconds if exact_seconds > 0 else 0.0
+        record.update(
+            exact_seconds=exact_seconds,
+            exact_requests=exact_requests,
+            exact_requests_per_s=exact_rps,
+            exact_outcome=exact_result.stage(stage_name).describe(),
+            exact_fingerprint=_result_fingerprint(exact_result),
+            speedup=requests_per_s / exact_rps if exact_rps > 0 else 0.0,
+        )
+    return record
 
 
 def bench_bisect_ramp(
@@ -595,6 +698,101 @@ def bench_campaign(
     }
 
 
+def bench_cohort_campaign(
+    n_worlds: int = 8,
+    n_clients: int = 500,
+    max_crowd: int = 400,
+    crowd_step: int = 20,
+    jobs: int = 2,
+    seed: int = 0,
+    repeats: int = 1,
+) -> Dict:
+    """Campaign-level speedup of cohort crowd mode on scenario worlds.
+
+    The micro-world campaign bench measures the *engine*; this one
+    measures what aggregation buys a real survey: *n_worlds* qtnp
+    Large Object worlds (distinct seeds) dispatched through the
+    batched pool twice — once exact, once with ``crowd_mode="cohort"``
+    — through throwaway sharded stores.  The gated ``seconds`` is the
+    cohort arm; ``campaign_speedup`` is the worlds-per-second ratio.
+    Verdict parity across the pair is the equivalence grid's job
+    (``repro equiv``); here both arms' results are fingerprinted so a
+    drift is at least visible.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import CampaignSpec, JobSpec
+
+    def world_for(index: int, mode: Optional[str]) -> WorldSpec:
+        return WorldSpec(
+            scenario=presets.qtnp_server(),
+            fleet=FleetSpec(n_clients=n_clients),
+            config=MFCConfig(
+                threshold_s=0.100,
+                max_crowd=max_crowd,
+                crowd_step=crowd_step,
+                initial_crowd=crowd_step,
+                min_clients=min(50, max(1, int(n_clients * 0.75))),
+            ),
+            seed=seed + index,
+            stage_kinds=(StageKind.LARGE_OBJECT,),
+            crowd_mode=mode,
+        )
+
+    state: Dict = {}
+
+    def run_mode(mode: Optional[str], key: str):
+        spec = CampaignSpec(
+            name=f"bench-cohort-campaign-{key}",
+            jobs=[
+                JobSpec.from_world(f"bench-{key}-{i}", world_for(i, mode))
+                for i in range(n_worlds)
+            ],
+        )
+        tmp = tempfile.mkdtemp(prefix="bench-cohort-campaign-")
+        try:
+            state[key] = run_campaign(
+                spec, jobs=jobs, store=Path(tmp) / "cache.d", progress=False
+            )
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    seconds = _best_of(repeats, lambda: run_mode("cohort", "cohort"))
+    exact_seconds = _best_of(repeats, lambda: run_mode(None, "exact"))
+    digest = hashlib.sha256()
+    for outcome in state["cohort"]:
+        digest.update(_result_fingerprint(outcome.result).encode("ascii"))
+    exact_digest = hashlib.sha256()
+    for outcome in state["exact"]:
+        exact_digest.update(_result_fingerprint(outcome.result).encode("ascii"))
+    worlds_per_s = n_worlds / seconds if seconds > 0 else 0.0
+    exact_worlds_per_s = n_worlds / exact_seconds if exact_seconds > 0 else 0.0
+    return {
+        "seconds": seconds,
+        "worlds": n_worlds,
+        "worlds_per_s": worlds_per_s,
+        "exact_seconds": exact_seconds,
+        "exact_worlds_per_s": exact_worlds_per_s,
+        "campaign_speedup": (
+            worlds_per_s / exact_worlds_per_s if exact_worlds_per_s > 0 else 0.0
+        ),
+        "fingerprint": "sha256:" + digest.hexdigest(),
+        "exact_fingerprint": "sha256:" + exact_digest.hexdigest(),
+        "params": {
+            "n_worlds": n_worlds,
+            "n_clients": n_clients,
+            "max_crowd": max_crowd,
+            "crowd_step": crowd_step,
+            "jobs": jobs,
+            "seed": seed,
+            "repeats": repeats,
+        },
+    }
+
+
 def bench_triage_savings(
     scale: float = 0.41,
     pop_seed: int = 11,
@@ -723,6 +921,131 @@ def bench_triage_savings(
 # -- suites -------------------------------------------------------------------
 
 
+def kernel_bench_factories(quick: bool = False) -> Dict[str, "BenchFactory"]:
+    """Key → zero-arg callable for every kernel/allocator bench."""
+    n = 40_000 if quick else 200_000
+    repeats = 2 if quick else 3
+    flow_points = (10, 50) if quick else (10, 50, 100, 200)
+    suffix = ".quick" if quick else ""
+    factories: Dict[str, BenchFactory] = {
+        f"kernel.timers{suffix}": lambda: bench_kernel_timers(
+            n_events=n, repeats=repeats
+        ),
+        f"kernel.cascade{suffix}": lambda: bench_kernel_cascade(
+            n_events=n, repeats=repeats
+        ),
+        f"kernel.timers_dense{suffix}": lambda: bench_kernel_timers_dense(
+            n_events=n, repeats=repeats
+        ),
+        f"kernel.cancel_churn{suffix}": lambda: bench_kernel_cancel_churn(
+            n_events=n, repeats=repeats
+        ),
+    }
+    for flows in flow_points:
+        factories[f"allocator.flows_{flows}{suffix}"] = (
+            lambda flows=flows: bench_allocator(
+                n_flows=flows,
+                n_idle_links=200,
+                n_rounds=4 if quick else 20,
+                repeats=repeats,
+            )
+        )
+    factories[f"allocator.sync_crowd{suffix}"] = lambda: bench_allocator_sync_crowd(
+        n_clients=100 if quick else 500,
+        n_rounds=2 if quick else 8,
+        repeats=repeats,
+    )
+    return factories
+
+
+def campaign_bench_factories(quick: bool = False) -> Dict[str, "BenchFactory"]:
+    """Key → zero-arg callable for the campaign-engine benches."""
+    if quick:
+        return {
+            "campaign.worlds_per_s.quick": lambda: bench_campaign(
+                n_worlds=300, jobs=2, repeats=1
+            ),
+            "campaign.cohort_worlds_per_s.quick": lambda: bench_cohort_campaign(
+                n_worlds=4, n_clients=200, max_crowd=120,
+                crowd_step=20, jobs=2, repeats=1,
+            ),
+        }
+    return {
+        "campaign.worlds_per_s": lambda: bench_campaign(
+            n_worlds=2000, jobs=2, repeats=2
+        ),
+        "campaign.cohort_worlds_per_s": lambda: bench_cohort_campaign(
+            n_worlds=8, n_clients=500, max_crowd=400,
+            crowd_step=20, jobs=2, repeats=1,
+        ),
+    }
+
+
+def triage_bench_factories(quick: bool = False) -> Dict[str, "BenchFactory"]:
+    """Key → zero-arg callable for the triage benches."""
+    if quick:
+        return {
+            "triage.request_savings.quick": lambda: bench_triage_savings(
+                scale=0.05, jobs=2
+            ),
+        }
+    return {
+        "triage.request_savings": lambda: bench_triage_savings(scale=0.41, jobs=4),
+    }
+
+
+def world_bench_factories(quick: bool = False) -> Dict[str, "BenchFactory"]:
+    """Key → zero-arg callable for the end-to-end world benches."""
+    if quick:
+        return {
+            "world.large_object_60": lambda: bench_world(
+                n_clients=60, max_crowd=40, crowd_step=10, repeats=1
+            ),
+            "world.bisect_ramp_60": lambda: bench_bisect_ramp(
+                n_clients=60, max_crowd=60, crowd_step=5,
+                access_mbps=500.0, repeats=1,
+            ),
+            "world.crowd_500": lambda: bench_crowd(
+                n_clients=500, max_crowd=500, crowd_step=50, repeats=1
+            ),
+        }
+    return {
+        "world.large_object_200": lambda: bench_world(
+            n_clients=200, max_crowd=200, crowd_step=10, repeats=2
+        ),
+        "world.large_object_500": lambda: bench_world(
+            n_clients=500, max_crowd=400, crowd_step=20, repeats=1
+        ),
+        "world.large_object_1000": lambda: bench_world(
+            n_clients=1000, max_crowd=600, crowd_step=30, repeats=1
+        ),
+        "world.bisect_ramp": lambda: bench_bisect_ramp(
+            n_clients=200, max_crowd=200, crowd_step=5, repeats=1
+        ),
+        "world.crowd_2000": lambda: bench_crowd(
+            n_clients=2000, max_crowd=2000, crowd_step=100, repeats=1
+        ),
+        "world.crowd_5000": lambda: bench_crowd(
+            n_clients=5000, max_crowd=5000, crowd_step=250,
+            repeats=1, exact_arm=False,
+        ),
+    }
+
+
+def bench_factories(quick: bool = False) -> Dict[str, "BenchFactory"]:
+    """Every bench key → zero-arg callable (``repro perf --profile``).
+
+    The same tables the suites run, unevaluated — profiling one bench
+    must not pay for the rest of its suite.
+    """
+    factories: Dict[str, BenchFactory] = {}
+    factories.update(kernel_bench_factories(quick))
+    factories.update(campaign_bench_factories(quick))
+    factories.update(triage_bench_factories(quick))
+    factories.update(world_bench_factories(quick))
+    return factories
+
+
 def run_kernel_suite(quick: bool = False) -> Dict[str, Dict]:
     """Kernel + allocator benches → the ``BENCH_kernel.json`` payload.
 
@@ -730,55 +1053,21 @@ def run_kernel_suite(quick: bool = False) -> Dict[str, Dict]:
     keep separate baseline entries (their params differ, so they are
     never comparable anyway).
     """
-    n = 40_000 if quick else 200_000
-    repeats = 2 if quick else 3
-    flow_points = (10, 50) if quick else (10, 50, 100, 200)
-    suffix = ".quick" if quick else ""
-    benches: Dict[str, Dict] = {
-        f"kernel.timers{suffix}": bench_kernel_timers(n_events=n, repeats=repeats),
-        f"kernel.cascade{suffix}": bench_kernel_cascade(n_events=n, repeats=repeats),
-        f"kernel.timers_dense{suffix}": bench_kernel_timers_dense(
-            n_events=n, repeats=repeats
-        ),
-        f"kernel.cancel_churn{suffix}": bench_kernel_cancel_churn(
-            n_events=n, repeats=repeats
-        ),
-    }
-    for flows in flow_points:
-        benches[f"allocator.flows_{flows}{suffix}"] = bench_allocator(
-            n_flows=flows,
-            n_idle_links=200,
-            n_rounds=4 if quick else 20,
-            repeats=repeats,
-        )
-    benches[f"allocator.sync_crowd{suffix}"] = bench_allocator_sync_crowd(
-        n_clients=100 if quick else 500,
-        n_rounds=2 if quick else 8,
-        repeats=repeats,
-    )
-    return benches
+    return {key: fn() for key, fn in kernel_bench_factories(quick).items()}
 
 
 def run_campaign_suite(quick: bool = False) -> Dict[str, Dict]:
     """Campaign-engine benches → merged into the world payload.
 
-    One key, ``campaign.worlds_per_s``: micro-world dispatch
-    throughput through the batched pool, with the per-job and
-    sequential arms riding along inside the record for the A/B
-    numbers.  Gated by ``repro perf --check`` like every other bench
-    (its ``seconds`` is the batched arm's wall time).
+    ``campaign.worlds_per_s``: micro-world dispatch throughput through
+    the batched pool, with the per-job and sequential arms riding
+    along inside the record for the A/B numbers.
+    ``campaign.cohort_worlds_per_s``: scenario-world survey throughput
+    with cohort aggregation, exact arm alongside.  Both gated by
+    ``repro perf --check`` like every other bench (``seconds`` is the
+    headline arm's wall time).
     """
-    if quick:
-        return {
-            "campaign.worlds_per_s.quick": bench_campaign(
-                n_worlds=300, jobs=2, repeats=1
-            ),
-        }
-    return {
-        "campaign.worlds_per_s": bench_campaign(
-            n_worlds=2000, jobs=2, repeats=2
-        ),
-    }
+    return {key: fn() for key, fn in campaign_bench_factories(quick).items()}
 
 
 def run_triage_suite(quick: bool = False) -> Dict[str, Dict]:
@@ -790,15 +1079,7 @@ def run_triage_suite(quick: bool = False) -> Dict[str, Dict]:
     the full population; ``repro perf --check --check-keys triage.``
     gates the wall time like every other bench.
     """
-    if quick:
-        return {
-            "triage.request_savings.quick": bench_triage_savings(
-                scale=0.05, jobs=2
-            ),
-        }
-    return {
-        "triage.request_savings": bench_triage_savings(scale=0.41, jobs=4),
-    }
+    return {key: fn() for key, fn in triage_bench_factories(quick).items()}
 
 
 def run_world_suite(quick: bool = False) -> Dict[str, Dict]:
@@ -806,31 +1087,9 @@ def run_world_suite(quick: bool = False) -> Dict[str, Dict]:
 
     The full suite always contains the 200-client Large Object world —
     the acceptance benchmark — plus 500- and 1000-client crowd-scale
-    worlds tracking the ROADMAP's thousand-client goal; ``quick``
-    swaps in a small world for CI smoke runs (same shape, ~10x
-    cheaper, still fingerprinted).
+    worlds tracking the ROADMAP's thousand-client goal and the
+    cohort-aggregated ``world.crowd_2000``/``world.crowd_5000``
+    sweeps; ``quick`` swaps in small worlds for CI smoke runs (same
+    shape, ~10x cheaper, still fingerprinted).
     """
-    if quick:
-        return {
-            "world.large_object_60": bench_world(
-                n_clients=60, max_crowd=40, crowd_step=10, repeats=1
-            ),
-            "world.bisect_ramp_60": bench_bisect_ramp(
-                n_clients=60, max_crowd=60, crowd_step=5,
-                access_mbps=500.0, repeats=1,
-            ),
-        }
-    return {
-        "world.large_object_200": bench_world(
-            n_clients=200, max_crowd=200, crowd_step=10, repeats=2
-        ),
-        "world.large_object_500": bench_world(
-            n_clients=500, max_crowd=400, crowd_step=20, repeats=1
-        ),
-        "world.large_object_1000": bench_world(
-            n_clients=1000, max_crowd=600, crowd_step=30, repeats=1
-        ),
-        "world.bisect_ramp": bench_bisect_ramp(
-            n_clients=200, max_crowd=200, crowd_step=5, repeats=1
-        ),
-    }
+    return {key: fn() for key, fn in world_bench_factories(quick).items()}

@@ -61,8 +61,13 @@ class DynamicBackend:
 
     name = "abstract"
 
-    def handle(self, query: WebObject) -> Generator:
-        """Process body: produce the dynamic response for *query*."""
+    def handle(self, query: WebObject, weight: int = 1, meter=None) -> Generator:
+        """Process body: produce the dynamic response for *query*.
+
+        ``weight``/``meter`` are cohort mode's occupancy ledger (see
+        :mod:`repro.core.cohort`): the call runs one representative
+        request and accounts the other ``weight − 1`` members' demand.
+        """
         raise NotImplementedError
 
 
@@ -80,7 +85,39 @@ class FastCGIBackend(DynamicBackend):
         self.peak_processes = 0
         self.forks_failed = 0
 
-    def handle(self, query: WebObject) -> Generator:
+    def handle(self, query: WebObject, weight: int = 1, meter=None) -> Generator:
+        if weight > 1:
+            # the whole cohort forks: claim every member's process
+            # image so the swap cliff (Figure 6) is driven by the real
+            # weighted footprint; near exhaustion the claim clamps,
+            # which already pins swap_factor at its ceiling
+            claimed = self.resources.allocate_memory_bulk(
+                weight * self.spec.fastcgi_process_bytes
+            )
+            if claimed < self.spec.fastcgi_process_bytes:
+                self.forks_failed += weight
+                yield from self.resources.consume_cpu(
+                    10 * self.spec.fastcgi_fork_cpu_s, weight=weight, meter=meter
+                )
+                if claimed > 0:
+                    self.resources.free_memory(claimed)
+                return
+            self.active_processes += weight
+            self.peak_processes = max(self.peak_processes, self.active_processes)
+            try:
+                yield from self.resources.consume_cpu(
+                    self.spec.fastcgi_fork_cpu_s, weight=weight, meter=meter
+                )
+                yield from self.database.execute(
+                    query,
+                    swap_factor=self.resources.swap_factor(),
+                    weight=weight,
+                    meter=meter,
+                )
+            finally:
+                self.active_processes -= weight
+                self.resources.free_memory(claimed)
+            return
         allocated = self.resources.allocate_memory(self.spec.fastcgi_process_bytes)
         if not allocated:
             # fork failure under complete memory exhaustion: the request
@@ -112,16 +149,34 @@ class MongrelBackend(DynamicBackend):
         self.database = database
         self.pool = Resource(sim, spec.mongrel_pool_size, name="mongrel.pool")
 
-    def handle(self, query: WebObject) -> Generator:
+    def handle(self, query: WebObject, weight: int = 1, meter=None) -> Generator:
         grant = self.pool.request()
-        yield grant
+        if meter is not None and not grant.triggered:
+            queued_at = self.sim.now
+            yield grant
+            meter.waited(self.sim.now - queued_at)
+        else:
+            yield grant
+        held_from = self.sim.now
         try:
-            yield from self.resources.consume_cpu(self.spec.mongrel_dispatch_cpu_s)
+            yield from self.resources.consume_cpu(
+                self.spec.mongrel_dispatch_cpu_s, weight=weight, meter=meter
+            )
             yield from self.database.execute(
-                query, swap_factor=self.resources.swap_factor()
+                query,
+                swap_factor=self.resources.swap_factor(),
+                weight=weight,
+                meter=meter,
             )
         finally:
+            held = self.sim.now - held_from
             self.pool.release(grant)
+        if weight > 1:
+            self.pool.account((weight - 1) * held)
+        if meter is not None:
+            # pool occupancy: held across dispatch + query, so member
+            # handlers queue positionally behind the whole hold
+            meter.demand(self.pool, held, weight)
 
 
 def make_backend(sim: Simulator, spec: BackendSpec, resources, database: Database) -> DynamicBackend:

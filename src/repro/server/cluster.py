@@ -49,10 +49,51 @@ class LoadBalancedCluster:
         # least_connections: fewest in-flight requests; stable tie-break
         return min(self.servers, key=lambda s: (s.pending_requests, s.spec.name))
 
-    def submit(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Process:
+    def submit(
+        self,
+        request: HTTPRequest,
+        client: ClientNode,
+        rtt: float,
+        weight: int = 1,
+        meter=None,
+    ) -> Process:
         """Dispatch to a backend; same contract as ``SimWebServer.submit``."""
         self.dispatched += 1
-        return self._pick().submit(request, client, rtt)
+        if weight <= 1:
+            return self._pick().submit(request, client, rtt, weight=weight, meter=meter)
+        # cohort dispatch: a load balancer spreads a synchronized burst
+        # across the boxes, so the macro-request is split into
+        # near-equal weighted chunks (fewest-pending boxes take the
+        # remainder) that run concurrently; the wrapper completes when
+        # the slowest chunk does, which is every member's completion
+        # under symmetric boxes
+        n = len(self.servers)
+        base, rem = divmod(weight, n)
+        if self.policy == "round_robin":
+            ordered = [
+                self.servers[(self._rr_index + i) % n] for i in range(n)
+            ]
+            self._rr_index += 1
+        else:
+            ordered = sorted(
+                self.servers, key=lambda s: (s.pending_requests, s.spec.name)
+            )
+        chunks = []
+        for i, server in enumerate(ordered):
+            chunk = base + (1 if i < rem else 0)
+            if chunk > 0:
+                chunks.append((server, chunk))
+        return self.sim.process(self._submit_chunks(request, client, rtt, chunks, meter))
+
+    def _submit_chunks(self, request, client, rtt, chunks, meter) -> Generator:
+        procs = [
+            server.submit(request, client, rtt, weight=chunk, meter=meter)
+            for server, chunk in chunks
+        ]
+        response = None
+        for proc in procs:
+            response = yield proc
+        return response
 
     @property
     def pending_requests(self) -> int:

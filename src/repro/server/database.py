@@ -68,16 +68,25 @@ class Database:
         )
         self.queries_executed = 0
 
-    def execute(self, query: WebObject, swap_factor: float = 1.0) -> Generator:
+    def execute(
+        self,
+        query: WebObject,
+        swap_factor: float = 1.0,
+        weight: int = 1,
+        meter=None,
+    ) -> Generator:
         """Process body: run one query; returns True on a cache hit.
 
         *swap_factor* scales service time when the host is swapping
         (the database shares the box with the web server in the paper's
-        lab setup).
+        lab setup).  ``weight``/``meter`` implement cohort mode's
+        occupancy ledger: the representative query runs for real, the
+        other members' identical demand is posted into the busy
+        statistics and recorded for positional queue synthesis.
         """
         if not query.dynamic:
             raise ValueError(f"not a query object: {query.path}")
-        self.queries_executed += 1
+        self.queries_executed += weight if weight > 1 else 1
         if query.cacheable and self.query_cache.lookup(query.path):
             # cached responses skip the scan; only the cache probe costs
             yield (
@@ -86,22 +95,40 @@ class Database:
             return True
 
         grant = self.connections.request()
-        yield grant
+        if meter is not None and not grant.triggered:
+            queued_at = self.sim.now
+            yield grant
+            meter.waited(self.sim.now - queued_at)
+        else:
+            yield grant
         try:
             scan_s = query.db_rows / self.spec.row_scan_rate
-            yield (
-                (self.spec.per_query_overhead_s + scan_s) * swap_factor
-            )
+            service_s = (self.spec.per_query_overhead_s + scan_s) * swap_factor
+            yield service_s
         finally:
             self.connections.release(grant)
+        if weight > 1:
+            self.connections.account((weight - 1) * service_s)
+        if meter is not None:
+            meter.demand(self.connections, service_s, weight)
 
         if self._contention is not None:
             hop = self._contention.request()
-            yield hop
+            if meter is not None and not hop.triggered:
+                queued_at = self.sim.now
+                yield hop
+                meter.waited(self.sim.now - queued_at)
+            else:
+                yield hop
             try:
-                yield self.spec.contention_point_s * swap_factor
+                hop_s = self.spec.contention_point_s * swap_factor
+                yield hop_s
             finally:
                 self._contention.release(hop)
+            if weight > 1:
+                self._contention.account((weight - 1) * hop_s)
+            if meter is not None:
+                meter.demand(self._contention, hop_s, weight)
 
         if query.cacheable:
             self.query_cache.insert(query.path, query.size_bytes)

@@ -135,6 +135,22 @@ class ServerResources:
         self.memory.put(amount)
         return True
 
+    def allocate_memory_bulk(self, amount: float) -> float:
+        """Claim up to *amount* memory; returns the amount claimed.
+
+        Cohort mode's weighted allocation: a macro-request claims its
+        whole crowd's memory so swap pressure (and the FastCGI cliff)
+        is driven by the *real* weighted footprint.  Near exhaustion
+        the claim clamps to what is left rather than failing outright
+        — the partial claim already saturates :meth:`swap_factor`,
+        which is the observable the degradation verdict rides on.
+        """
+        claim = min(amount, self.memory.capacity - self.memory.level)
+        if claim <= 0:
+            return 0.0
+        self.memory.put(claim)
+        return claim
+
     def free_memory(self, amount: float) -> None:
         """Release a prior allocation."""
         taken = self.memory.get(amount)
@@ -143,34 +159,62 @@ class ServerResources:
 
     # -- service helpers -----------------------------------------------------------
 
-    def consume_cpu(self, seconds: float) -> Generator:
-        """Process body: hold one core for (scaled) *seconds*."""
+    def consume_cpu(self, seconds: float, weight: int = 1, meter=None) -> Generator:
+        """Process body: hold one core for (scaled) *seconds*.
+
+        ``weight``/``meter`` implement cohort mode's occupancy ledger:
+        the representative holds the core for one member's service,
+        the other ``weight − 1`` members' identical demand is posted
+        into the busy statistics (:meth:`~repro.sim.resources.Resource.account`)
+        and recorded on the meter for positional queue synthesis.
+        """
         if seconds <= 0:
             return
         grant = self.cpu.request()
-        yield grant
+        if meter is not None and not grant.triggered:
+            queued_at = self.sim.now
+            yield grant
+            meter.waited(self.sim.now - queued_at)
+        else:
+            yield grant
         try:
-            yield seconds / self.spec.cpu_speed * self.swap_factor()
+            duration = seconds / self.spec.cpu_speed * self.swap_factor()
+            yield duration
         finally:
             self.cpu.release(grant)
+        if weight > 1:
+            self.cpu.account((weight - 1) * duration)
+        if meter is not None:
+            meter.demand(self.cpu, duration, weight)
 
-    def read_disk(self, size_bytes: float) -> Generator:
+    def read_disk(self, size_bytes: float, weight: int = 1, meter=None) -> Generator:
         """Process body: seek + stream *size_bytes* off the disk."""
         grant = self.disk.request()
-        yield grant
+        if meter is not None and not grant.triggered:
+            queued_at = self.sim.now
+            yield grant
+            meter.waited(self.sim.now - queued_at)
+        else:
+            yield grant
         try:
-            duration = self.spec.disk_seek_s + size_bytes / self.spec.disk_bandwidth_bps
-            yield duration * self.swap_factor()
+            duration = (
+                self.spec.disk_seek_s + size_bytes / self.spec.disk_bandwidth_bps
+            ) * self.swap_factor()
+            yield duration
         finally:
             self.disk.release(grant)
+        if weight > 1:
+            self.disk.account((weight - 1) * duration)
+        if meter is not None:
+            meter.demand(self.disk, duration, weight)
 
-    def write_disk(self, size_bytes: float) -> Generator:
+    def write_disk(self, size_bytes: float, weight: int = 1, meter=None) -> Generator:
         """Process body: journal *size_bytes* onto the disk.
 
         Same single head, same seek + stream cost as a read — writes
         and reads contend for the one spindle (§3.3 serialization).
         """
-        yield from self.read_disk(size_bytes)
+        yield from self.read_disk(size_bytes, weight=weight, meter=meter)
 
     def __repr__(self) -> str:
         return f"ServerResources({self.spec.name!r})"

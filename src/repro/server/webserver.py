@@ -88,7 +88,14 @@ class SimWebServer:
         # stage's 90th-percentile rule observe it.  Thrash is sticky
         # until the burst rate falls to a quarter of the threshold.
         self._thrashing = False
+        #: (arrival_time, weight) pairs inside the 1 s burst window;
+        #: a weighted cohort arrival counts as *weight* connections
         self._recent_arrivals: deque = deque()
+        self._recent_weight = 0
+        #: total weight of requests holding or waiting for a worker —
+        #: cohort admission consults this weighted ledger where exact
+        #: mode reads the (equal, unweighted) worker queue length
+        self._worker_load_weight = 0
         #: fault injection: a crashed box answers nothing (no RST, no
         #: 503) until :meth:`restart` brings it back with cold caches
         self.crashed = False
@@ -110,23 +117,45 @@ class SimWebServer:
         self.response_cache.clear()
         self._thrashing = False
         self._recent_arrivals.clear()
+        self._recent_weight = 0
 
     # -- public interface ---------------------------------------------------------
 
-    def submit(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Process:
+    def submit(
+        self,
+        request: HTTPRequest,
+        client: ClientNode,
+        rtt: float,
+        weight: int = 1,
+        meter=None,
+    ) -> Process:
         """Serve *request* for *client*; the process yields the response.
 
         Call this at the instant the request's first byte reaches the
         server (the caller models handshake propagation).  The process
         completes when the client has received the last response byte.
+
+        ``weight > 1`` serves a cohort macro-request: one
+        representative runs the pipeline, the crowd's total footprint
+        is applied for real where it is cheap and observable (arrival
+        burst, memory, flow weight, admission ledger) and accounted on
+        *meter* everywhere else (busy integrals, per-resource demand
+        for positional synthesis — see :mod:`repro.core.cohort`).
         """
         # counted at submit time so load-balancer policies see it
-        self.pending_requests += 1
-        return self.sim.process(self._handle(request, client, rtt))
+        self.pending_requests += weight
+        return self.sim.process(self._handle(request, client, rtt, weight, meter))
 
     # -- pipeline -------------------------------------------------------------------
 
-    def _handle(self, request: HTTPRequest, client: ClientNode, rtt: float) -> Generator:
+    def _handle(
+        self,
+        request: HTTPRequest,
+        client: ClientNode,
+        rtt: float,
+        weight: int = 1,
+        meter=None,
+    ) -> Generator:
         arrival = self.sim.now
         try:
             if self.crashed:
@@ -137,32 +166,76 @@ class SimWebServer:
             if threshold is not None:
                 # a synchronized crowd lands N arrivals on this very
                 # instant, so the window trim and burst test run N
-                # times per epoch — keep them tight
+                # times per epoch — keep them tight.  A cohort arrival
+                # carries its whole crowd's connection count.
                 recent = self._recent_arrivals
-                recent.append(arrival)
+                recent.append((arrival, weight))
+                self._recent_weight += weight
                 horizon = arrival - 1.0
-                while recent[0] < horizon:
-                    recent.popleft()
-                burst = len(recent)
+                while recent[0][0] < horizon:
+                    self._recent_weight -= recent.popleft()[1]
+                burst = self._recent_weight
                 if burst > threshold:
                     self._thrashing = True
                 elif burst <= max(threshold // 4, 1):
                     self._thrashing = False
 
-            if self.resources.workers.queue_len >= self.spec.listen_backlog:
-                self.refused_requests += 1
-                yield from self._send(client, HEADER_BYTES, rtt)
-                return self._finish(
-                    request, arrival, Status.SERVICE_UNAVAILABLE, HEADER_BYTES
+            # admission: exact mode keeps the seed's unweighted queue
+            # test; a cohort arrival consults the weighted ledger and
+            # may be *partially* admitted — the refused members are
+            # synthesized as fast 503s by the cohort layer
+            admitted = weight
+            if weight == 1:
+                if self.resources.workers.queue_len >= self.spec.listen_backlog:
+                    self.refused_requests += 1
+                    yield from self._send(client, HEADER_BYTES, rtt)
+                    return self._finish(
+                        request, arrival, Status.SERVICE_UNAVAILABLE, HEADER_BYTES
+                    )
+            else:
+                room = (
+                    self.spec.max_workers
+                    + self.spec.listen_backlog
+                    - self._worker_load_weight
                 )
+                admitted = max(0, min(weight, room))
+                refused = weight - admitted
+                if refused > 0:
+                    self.refused_requests += refused
+                    if meter is not None:
+                        meter.refused_weight += refused
+                if admitted == 0:
+                    yield from self._send(
+                        client, HEADER_BYTES, rtt, weight=weight, meter=meter
+                    )
+                    return self._finish(
+                        request, arrival, Status.SERVICE_UNAVAILABLE, HEADER_BYTES
+                    )
 
+            self._worker_load_weight += admitted
             worker = self.resources.workers.request()
-            yield worker
-            got_memory = self.resources.allocate_memory(
-                self.spec.per_request_memory_bytes
-            )
+            if meter is not None and not worker.triggered:
+                queued_at = self.sim.now
+                yield worker
+                meter.waited(self.sim.now - queued_at)
+            else:
+                yield worker
+            worker_from = self.sim.now
+            if weight == 1:
+                got_memory = self.resources.allocate_memory(
+                    self.spec.per_request_memory_bytes
+                )
+                request_memory = (
+                    self.spec.per_request_memory_bytes if got_memory else 0.0
+                )
+            else:
+                request_memory = self.resources.allocate_memory_bulk(
+                    admitted * self.spec.per_request_memory_bytes
+                )
             try:
-                yield from self.resources.consume_cpu(self.spec.request_parse_cpu_s)
+                yield from self.resources.consume_cpu(
+                    self.spec.request_parse_cpu_s, weight=admitted, meter=meter
+                )
 
                 obj = self.site.lookup(request.path)
                 cache_bust = False
@@ -174,41 +247,65 @@ class SimWebServer:
                         obj = self.site.lookup(base_path)
                         cache_bust = obj is not None
                 if obj is None:
-                    yield from self._send(client, HEADER_BYTES, rtt)
+                    yield from self._send(
+                        client, HEADER_BYTES, rtt, weight=admitted, meter=meter
+                    )
                     return self._finish(
                         request, arrival, Status.NOT_FOUND, HEADER_BYTES
                     )
 
                 if request.method is Method.POST:
-                    status = yield from self._handle_write(request, obj, client, rtt)
+                    status = yield from self._handle_write(
+                        request, obj, client, rtt, weight=admitted, meter=meter
+                    )
                     return self._finish(request, arrival, status, HEADER_BYTES)
 
                 if request.method is Method.HEAD:
                     response_bytes = HEADER_BYTES
-                    yield from self.resources.consume_cpu(self.spec.head_cpu_s)
+                    yield from self.resources.consume_cpu(
+                        self.spec.head_cpu_s, weight=admitted, meter=meter
+                    )
                 elif obj.dynamic:
                     response_bytes = obj.size_bytes
                     if cache_bust or not (
                         obj.cacheable and self.response_cache.lookup(obj.path)
                     ):
-                        yield from self.backend.handle(obj)
+                        yield from self.backend.handle(
+                            obj, weight=admitted, meter=meter
+                        )
                         if obj.cacheable and not cache_bust:
                             self.response_cache.insert(obj.path, obj.size_bytes)
                 else:
                     response_bytes = obj.size_bytes
-                    yield from self._fetch_static(obj, cache_bust=cache_bust)
+                    yield from self._fetch_static(
+                        obj, cache_bust=cache_bust, weight=admitted, meter=meter
+                    )
 
-                yield from self._send(client, response_bytes, rtt)
+                yield from self._send(
+                    client, response_bytes, rtt, weight=admitted, meter=meter
+                )
                 return self._finish(request, arrival, Status.OK, response_bytes)
             finally:
-                if got_memory:
-                    self.resources.free_memory(self.spec.per_request_memory_bytes)
+                if request_memory > 0:
+                    self.resources.free_memory(request_memory)
+                held = self.sim.now - worker_from
                 self.resources.workers.release(worker)
+                self._worker_load_weight -= admitted
+                if admitted > 1:
+                    self.resources.workers.account((admitted - 1) * held)
+                if meter is not None:
+                    meter.demand(self.resources.workers, held, admitted)
         finally:
-            self.pending_requests -= 1
+            self.pending_requests -= weight
 
     def _handle_write(
-        self, request: HTTPRequest, obj: WebObject, client: ClientNode, rtt: float
+        self,
+        request: HTTPRequest,
+        obj: WebObject,
+        client: ClientNode,
+        rtt: float,
+        weight: int = 1,
+        meter=None,
     ) -> Generator:
         """The write path (the Upload stage): body receive, backend,
         storage journal, then a headers-only acknowledgement.
@@ -221,21 +318,31 @@ class SimWebServer:
         """
         if not obj.dynamic:
             # writes need an application endpoint, not a static file
-            yield from self._send(client, HEADER_BYTES, rtt)
+            yield from self._send(client, HEADER_BYTES, rtt, weight=weight, meter=meter)
             return Status.METHOD_NOT_ALLOWED
         if request.body_bytes > 0:
             # body receive: the fluid links are direction-agnostic
             # shared capacities, so the upload rides the same
             # transfer-plus-thrash-stall path as a response of equal
             # size (a thrashing box stalls both directions alike)
-            yield from self._send(client, request.body_bytes, rtt)
-        yield from self.backend.handle(obj)
+            yield from self._send(
+                client, request.body_bytes, rtt, weight=weight, meter=meter
+            )
+        yield from self.backend.handle(obj, weight=weight, meter=meter)
         if request.body_bytes > 0:
-            yield from self.resources.write_disk(request.body_bytes)
-        yield from self._send(client, HEADER_BYTES, rtt)
+            yield from self.resources.write_disk(
+                request.body_bytes, weight=weight, meter=meter
+            )
+        yield from self._send(client, HEADER_BYTES, rtt, weight=weight, meter=meter)
         return Status.OK
 
-    def _fetch_static(self, obj: WebObject, cache_bust: bool = False) -> Generator:
+    def _fetch_static(
+        self,
+        obj: WebObject,
+        cache_bust: bool = False,
+        weight: int = 1,
+        meter=None,
+    ) -> Generator:
         """Object cache, then disk; plus per-byte send CPU.
 
         A cache-busted request never consults or populates the object
@@ -243,13 +350,22 @@ class SimWebServer:
         so every such request pays the full seek + stream.
         """
         if cache_bust or not self.object_cache.lookup(obj.path):
-            yield from self.resources.read_disk(obj.size_bytes)
+            yield from self.resources.read_disk(
+                obj.size_bytes, weight=weight, meter=meter
+            )
             if obj.cacheable and not cache_bust:
                 self.object_cache.insert(obj.path, obj.size_bytes)
         send_cpu = self.spec.static_send_cpu_s_per_100kb * (obj.size_bytes / 102_400.0)
-        yield from self.resources.consume_cpu(send_cpu)
+        yield from self.resources.consume_cpu(send_cpu, weight=weight, meter=meter)
 
-    def _send(self, client: ClientNode, size_bytes: float, rtt: float) -> Generator:
+    def _send(
+        self,
+        client: ClientNode,
+        size_bytes: float,
+        rtt: float,
+        weight: int = 1,
+        meter=None,
+    ) -> Generator:
         """Deliver *size_bytes* to the client through the fluid network.
 
         When a synchronized crowd's responses (or a burst of refused
@@ -259,9 +375,23 @@ class SimWebServer:
         max-min allocation pass — the per-response call here stays a
         plain :meth:`~repro.net.link.Network.start_transfer` join,
         which is O(path) since the coalescing refactor.
+
+        A cohort delivery (``weight > 1``) rides one weighted
+        macro-flow; the representative's client-access hop is replaced
+        by the cohort pipe (capacity = weight × member access) so the
+        last-mile constraint stays per-member while shared links see
+        the crowd's full weight.
         """
-        path = client.download_path(self.access_link)
-        yield from self.tcp.download(self.sim, self.network, path, size_bytes, rtt)
+        if weight > 1:
+            path = client.download_path(self.access_link)
+            if meter is not None and meter.pipe is not None:
+                path[-1] = meter.pipe
+            yield from self.tcp.download_weighted(
+                self.sim, self.network, path, size_bytes, rtt, weight
+            )
+        else:
+            path = client.download_path(self.access_link)
+            yield from self.tcp.download(self.sim, self.network, path, size_bytes, rtt)
         if self.spec.accept_thrash_threshold is not None and self._thrashing:
             # uniform loss-recovery stall while the box thrashes
             yield self.spec.accept_thrash_s

@@ -92,6 +92,23 @@ class Resource:
         self._accumulate()
         return self._busy_integral
 
+    def account(self, busy_unit_seconds: float) -> None:
+        """Post externally-performed work into the busy statistics.
+
+        Cohort mode runs one representative request through the real
+        pipeline and *accounts* the other members' identical service
+        demand here, so windowed utilization (the monitor reads deltas
+        of :meth:`busy_integral`) reflects the whole weighted crowd
+        without one process per member.  Occupancy (``in_use``, the
+        wait queue) is deliberately untouched — queueing delay for the
+        unrepresented members is synthesized positionally by the
+        cohort layer, not simulated.
+        """
+        if busy_unit_seconds < 0:
+            raise SimulationError("negative busy accounting")
+        self._accumulate()
+        self._busy_integral += busy_unit_seconds
+
     def _accumulate(self) -> None:
         now = self.sim.now
         self._busy_integral += self._in_use * (now - self._last_change)

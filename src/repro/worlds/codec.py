@@ -62,6 +62,8 @@ DEFAULT_OMITTED_FIELDS: Dict[str, Dict[str, object]] = {
         "planner": None,
         "indicator": False,
         "faults": None,
+        # PR-10 cohort mode: exact-mode specs never mention it
+        "crowd_mode": None,
     },
     # the PR-9 hardening knobs: omitted at their defaults so every
     # config-bearing job key and spec hash written before they existed
@@ -73,6 +75,9 @@ DEFAULT_OMITTED_FIELDS: Dict[str, Dict[str, object]] = {
         "epoch_retry_limit": 2,
         "safety_abort_checks": 2,
         "stage_timeout_s": None,
+        # PR-10 cohort mode: the default (exact) crowd path is the
+        # seed behaviour, so configs predating the knob keep hashes
+        "crowd_mode": "exact",
     },
 }
 

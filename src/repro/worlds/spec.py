@@ -108,6 +108,10 @@ class WorldSpec:
     #: worlds only.  Also flips the coordinator into hardened mode
     #: unless ``config.hardening`` says otherwise.
     faults: Optional[FaultSpec] = None
+    #: per-world crowd-mode override: "exact" | "cohort" | None (follow
+    #: ``config.crowd_mode``).  Default-omitted from the canonical
+    #: encoding so pre-existing spec hashes stay byte-stable.
+    crowd_mode: Optional[str] = None
     #: free-form annotation — cosmetic, never hashed
     notes: str = ""
 
@@ -164,6 +168,11 @@ class WorldSpec:
             validate_stage_names(self.stages)
         if self.planner is not None:
             self.planner.validate()
+        if self.crowd_mode not in (None, "exact", "cohort"):
+            raise ValueError(
+                f"crowd_mode must be 'exact', 'cohort' or None "
+                f"(got {self.crowd_mode!r})"
+            )
         if self.faults is not None:
             self.faults.validate()
             if self.synthetic is not None:
@@ -331,6 +340,11 @@ class WorldSpec:
             if self.config.hardening is not None
             else self.faults is not None
         )
+        effective_crowd_mode = (
+            self.crowd_mode
+            if self.crowd_mode is not None
+            else self.config.crowd_mode
+        )
         coordinator = Coordinator(
             sim,
             clients,
@@ -341,6 +355,13 @@ class WorldSpec:
             use_naive_scheduling=self.use_naive_scheduling,
             planner=self.planner,
             hardened=hardened,
+            crowd_mode=effective_crowd_mode,
+            network=topology.network if effective_crowd_mode == "cohort" else None,
+            cohort_rng=(
+                rngs.stream("cohort")
+                if effective_crowd_mode == "cohort"
+                else None
+            ),
         )
         background = BackgroundTraffic(
             sim,

@@ -307,6 +307,29 @@ def test_job_cost_folds_planner_and_stage_count():
     assert one_stage == pytest.approx(linear / DEFAULT_STAGE_COUNT)
 
 
+def test_job_cost_folds_crowd_mode_and_hardening():
+    from dataclasses import replace
+
+    from repro.campaign.executor import (
+        COHORT_COST_FACTOR,
+        HARDENED_COST_FACTOR,
+    )
+
+    base = world_for_cost()
+    exact = estimate_job_cost(JobSpec.from_world("a", base))
+    cohort = estimate_job_cost(
+        JobSpec.from_world("b", replace(base, crowd_mode="cohort"))
+    )
+    assert cohort == pytest.approx(exact * COHORT_COST_FACTOR)
+    hardened = estimate_job_cost(
+        JobSpec.from_world(
+            "c",
+            replace(base, config=replace(base.config, hardening=True)),
+        )
+    )
+    assert hardened == pytest.approx(exact * HARDENED_COST_FACTOR)
+
+
 def test_indicator_jobs_cost_a_flat_handful():
     world = indicator_world(world_for_cost())
     assert estimate_job_cost(

@@ -1,0 +1,141 @@
+"""Weighted max-min shares: the cohort macro-flow contract.
+
+A weight-``w`` flow stands in for *w* unit flows: it receives ``w``
+per-unit max-min shares at every link on its path, and with every
+weight at 1 the arithmetic must collapse to the historical unweighted
+allocator — exact-mode worlds keep their frozen parity.
+"""
+
+import random
+
+import pytest
+
+from repro.net import Network
+from repro.sim import Simulator
+from repro.sim.kernel import SimulationError
+
+REL_TOL = 1e-9
+
+
+def test_weighted_flow_takes_weight_per_unit_shares():
+    """weight 3 vs weight 1 on one saturated link split 3:1."""
+    sim = Simulator()
+    net = Network(sim)
+    server = net.add_link("server", 1000.0)
+    acc_a = net.add_link("acc_a", 1e6)
+    acc_b = net.add_link("acc_b", 1e6)
+    macro, unit = net.start_transfers(
+        [([server, acc_a], 3000.0, 3), ([server, acc_b], 1000.0, 1)]
+    )
+    assert macro.rate == pytest.approx(750.0)
+    assert unit.rate == pytest.approx(250.0)
+    sim.run()
+    # macro carries 3x the bytes at 3x the rate: both finish together
+    assert macro.finished_at == pytest.approx(unit.finished_at)
+
+
+def test_macro_flow_finishes_with_its_member_flows():
+    """A weight-N macro of N x member bytes is time-indistinguishable
+    from N symmetric unit flows on the shared bottleneck."""
+    member_bytes, n = 500.0, 6
+
+    def run_world(use_macro):
+        sim = Simulator()
+        net = Network(sim)
+        server = net.add_link("server", 777.0)
+        acc = net.add_link("acc", 1e9)
+        witness_acc = net.add_link("wacc", 1e9)
+        witness = net.start_transfer([server, witness_acc], 400.0)
+        if use_macro:
+            flows = net.start_transfers([([server, acc], member_bytes * n, n)])
+        else:
+            flows = net.start_transfers(
+                [([server, acc], member_bytes) for _ in range(n)]
+            )
+        sim.run()
+        return [t.finished_at for t in flows], witness.finished_at
+
+    macro_done, macro_witness = run_world(True)
+    exact_done, exact_witness = run_world(False)
+    # the members are symmetric, so they all finish at one instant —
+    # the same instant the macro-flow drains
+    assert len(set(exact_done)) == 1
+    assert macro_done[0] == pytest.approx(exact_done[0], rel=REL_TOL)
+    # and the bystander sharing the bottleneck sees the same world
+    assert macro_witness == pytest.approx(exact_witness, rel=REL_TOL)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_weight_one_matches_unweighted_exactly(seed):
+    """Explicit weight=1 triples reproduce the unweighted completion
+    times bit for bit (the exact-mode parity guarantee)."""
+    rng = random.Random(seed)
+    shapes = [
+        (rng.uniform(1e5, 1e6), rng.uniform(1e4, 2e5)) for _ in range(12)
+    ]
+
+    def run_world(explicit_weight):
+        sim = Simulator()
+        net = Network(sim)
+        server = net.add_link("server", 5e5)
+        transfers = []
+        for i, (cap, size) in enumerate(shapes):
+            acc = net.add_link(f"acc{i}", cap)
+            if explicit_weight:
+                transfers.extend(net.start_transfers([([server, acc], size, 1)]))
+            else:
+                transfers.append(net.start_transfer([server, acc], size))
+        sim.run()
+        return [t.finished_at for t in transfers]
+
+    assert run_world(True) == run_world(False)
+
+
+def test_weighted_conservation_and_fairness_mixed_weights():
+    """Random mixed-weight flow set: capacity conserved per link and
+    every flow bottlenecked at weight-proportional rate."""
+    rng = random.Random(99)
+    sim = Simulator()
+    net = Network(sim)
+    server = net.add_link("server", 4e5)
+    triples = []
+    for i in range(15):
+        acc = net.add_link(f"acc{i}", rng.uniform(2e4, 3e5))
+        weight = rng.choice([1, 1, 2, 5, 11])
+        triples.append(([server, acc], 1e4 * weight, weight))
+    transfers = net.start_transfers(triples)
+    for link in net.links:
+        flows = list(link.transfers)
+        assert sum(t.rate for t in flows) <= link.capacity_bps * (1 + 1e-6)
+    for t in transfers:
+        assert t.rate > 0
+        # max-min: somewhere on its path no flow gets a better
+        # per-unit rate
+        per_unit = t.rate / t.weight
+        assert any(
+            per_unit
+            >= max(x.rate / x.weight for x in link.transfers) * (1 - 1e-6)
+            for link in t.links
+        )
+    sim.run()
+    assert all(t.done.processed and t.done.ok for t in transfers)
+
+
+def test_batch_triples_validation():
+    sim = Simulator()
+    net = Network(sim)
+    link = net.add_link("l", 100.0)
+    with pytest.raises(SimulationError):
+        net.start_transfers([([link], 10.0, 0)])
+    with pytest.raises(SimulationError):
+        net.start_transfer([link], 10.0, weight=-2)
+    # an invalid entry anywhere aborts the whole batch before any join
+    with pytest.raises(SimulationError):
+        net.start_transfers([([link], 10.0, 2), ([], 5.0)])
+    assert not list(link.transfers)
+    # pairs and triples mix; zero-byte macro completes immediately
+    a, b = net.start_transfers([([link], 0.0, 4), ([link], 10.0)])
+    assert a.finished_at == sim.now
+    sim.run()
+    assert a.done.processed and a.done.ok
+    assert b.done.processed and b.done.ok
